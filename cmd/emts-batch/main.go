@@ -1,0 +1,186 @@
+// Command emts-batch simulates the paper's motivating deployment scenario
+// (Section II-A): a stream of PTG jobs arriving at a space-shared cluster,
+// each granted a partition by the batch scheduler and internally scheduled
+// by the chosen PTG algorithm.
+//
+// Jobs come either from a JSON spec file:
+//
+//	[
+//	  {"ptg": "fft8.json", "arrival": 0},
+//	  {"ptg": "irregular.json", "arrival": 120}
+//	]
+//
+// or from -demo N, which generates a mixed synthetic stream. Policies:
+// "whole" (the paper's one-job-owns-the-cluster setting), "fraction:0.5",
+// or "width" (partition matched to the PTG's task parallelism).
+//
+// Usage:
+//
+//	emts-batch -demo 8 -platform grelon -model synthetic -algo emts5 -policy fraction:0.5 -backfill
+//	emts-batch -spec jobs.json -algo mcpa
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"emts"
+)
+
+func main() {
+	var (
+		spec         = flag.String("spec", "", "JSON job-spec file (mutually exclusive with -demo)")
+		demo         = flag.Int("demo", 0, "generate this many synthetic jobs instead of reading -spec")
+		platformSpec = flag.String("platform", "grelon", "cluster: chti, grelon, or a platform file path")
+		modelName    = flag.String("model", "synthetic", "execution-time model")
+		algo         = flag.String("algo", "emts5", "PTG scheduling algorithm")
+		policySpec   = flag.String("policy", "whole", "partition policy: whole, fraction:<f>, width")
+		backfill     = flag.Bool("backfill", false, "enable backfilling (out-of-order starts)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		gap          = flag.Float64("gap", 240, "demo mode: arrival gap between jobs in seconds")
+		perJob       = flag.Bool("jobs", false, "print the per-job table, not only the aggregate")
+	)
+	flag.Parse()
+	if err := run(*spec, *demo, *platformSpec, *modelName, *algo, *policySpec, *backfill, *seed, *gap, *perJob); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-batch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec string, demo int, platformSpec, modelName, algo, policySpec string, backfill bool, seed int64, gap float64, perJob bool) error {
+	jobs, err := loadJobs(spec, demo, gap, seed)
+	if err != nil {
+		return err
+	}
+	cluster, err := resolveCluster(platformSpec)
+	if err != nil {
+		return err
+	}
+	policy, err := resolvePolicy(policySpec)
+	if err != nil {
+		return err
+	}
+	res, err := emts.SimulateBatch(jobs, emts.BatchConfig{
+		Cluster:   cluster,
+		ModelName: modelName,
+		Algorithm: algo,
+		Policy:    policy,
+		Backfill:  backfill,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Format())
+	if perJob {
+		fmt.Printf("\n%6s %8s %12s %12s %12s %12s\n", "job", "procs", "duration", "start", "finish", "wait")
+		for _, j := range res.Jobs {
+			fmt.Printf("%6d %8d %12.2f %12.2f %12.2f %12.2f\n",
+				j.ID, j.Procs, j.Duration, j.Start, j.Finish, j.Wait)
+		}
+	}
+	return nil
+}
+
+// jobSpec is one entry of the JSON spec file.
+type jobSpec struct {
+	PTG     string  `json:"ptg"`
+	Arrival float64 `json:"arrival"`
+}
+
+func loadJobs(spec string, demo int, gap float64, seed int64) ([]emts.BatchJob, error) {
+	switch {
+	case spec != "" && demo > 0:
+		return nil, fmt.Errorf("use either -spec or -demo, not both")
+	case spec != "":
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+		var specs []jobSpec
+		if err := json.Unmarshal(data, &specs); err != nil {
+			return nil, fmt.Errorf("decoding %s: %w", spec, err)
+		}
+		jobs := make([]emts.BatchJob, 0, len(specs))
+		for i, js := range specs {
+			f, err := os.Open(js.PTG)
+			if err != nil {
+				return nil, err
+			}
+			var g *emts.Graph
+			if strings.HasSuffix(strings.ToLower(js.PTG), ".dot") {
+				g, err = emts.ReadGraphDOT(f)
+			} else {
+				g, err = emts.ReadGraph(f)
+			}
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", js.PTG, err)
+			}
+			jobs = append(jobs, emts.BatchJob{ID: i, Graph: g, Arrival: js.Arrival})
+		}
+		return jobs, nil
+	case demo > 0:
+		jobs := make([]emts.BatchJob, 0, demo)
+		for i := 0; i < demo; i++ {
+			var (
+				g   *emts.Graph
+				err error
+			)
+			switch i % 3 {
+			case 0:
+				g, err = emts.GenerateFFT(16, seed+int64(i))
+			case 1:
+				g, err = emts.GenerateStrassen(seed + int64(i))
+			default:
+				g, err = emts.GenerateRandom(emts.RandomGraphConfig{
+					N: 100, Width: 0.5, Regularity: 0.2, Density: 0.5, Jump: 2,
+				}, seed+int64(i))
+			}
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, emts.BatchJob{ID: i, Graph: g, Arrival: float64(i) * gap})
+		}
+		return jobs, nil
+	}
+	return nil, fmt.Errorf("no jobs: pass -spec file or -demo N")
+}
+
+func resolveCluster(spec string) (emts.Cluster, error) {
+	switch strings.ToLower(spec) {
+	case "chti":
+		return emts.Chti(), nil
+	case "grelon":
+		return emts.Grelon(), nil
+	}
+	f, err := os.Open(spec)
+	if err != nil {
+		return emts.Cluster{}, fmt.Errorf("platform %q is neither a preset nor a readable file: %w", spec, err)
+	}
+	defer f.Close()
+	return emts.ReadCluster(f)
+}
+
+func resolvePolicy(spec string) (emts.PartitionPolicy, error) {
+	switch {
+	case spec == "whole":
+		return emts.WholeClusterPolicy(), nil
+	case spec == "width":
+		return emts.WidthMatchedPolicy(), nil
+	case strings.HasPrefix(spec, "fraction:"):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(spec, "fraction:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction in -policy %q: %w", spec, err)
+		}
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("fraction %g outside ]0,1]", f)
+		}
+		return emts.FractionPolicy(f), nil
+	}
+	return nil, fmt.Errorf("unknown -policy %q (whole, fraction:<f>, width)", spec)
+}

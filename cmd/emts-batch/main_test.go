@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emts"
+)
+
+func TestDemoRun(t *testing.T) {
+	if err := run("", 3, "chti", "amdahl", "mcpa", "whole", false, 1, 60, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecFileRun(t *testing.T) {
+	dir := t.TempDir()
+	g, err := emts.GenerateFFT(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptg := filepath.Join(dir, "g.json")
+	f, err := os.Create(ptg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	spec := filepath.Join(dir, "jobs.json")
+	content := `[{"ptg": "` + ptg + `", "arrival": 0}, {"ptg": "` + ptg + `", "arrival": 30}]`
+	if err := os.WriteFile(spec, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(spec, 0, "chti", "amdahl", "cpa", "fraction:0.5", true, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyParsing(t *testing.T) {
+	for _, spec := range []string{"whole", "width", "fraction:0.25"} {
+		if _, err := resolvePolicy(spec); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+	for _, spec := range []string{"", "fraction:x", "fraction:0", "fraction:2", "magic"} {
+		if _, err := resolvePolicy(spec); err == nil {
+			t.Fatalf("%s accepted", spec)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", 0, "chti", "amdahl", "cpa", "whole", false, 1, 0, false); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	if err := run("x.json", 3, "chti", "amdahl", "cpa", "whole", false, 1, 0, false); err == nil {
+		t.Fatal("spec+demo accepted")
+	}
+	if err := run("/does/not/exist.json", 0, "chti", "amdahl", "cpa", "whole", false, 1, 0, false); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	if err := run("", 2, "atlantis", "amdahl", "cpa", "whole", false, 1, 0, false); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if err := run("", 2, "chti", "amdahl", "warp", "whole", false, 1, 0, false); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

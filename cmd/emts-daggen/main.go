@@ -1,0 +1,129 @@
+// Command emts-daggen generates parallel task graphs in the JSON format the
+// other tools consume: FFT graphs, Strassen graphs, and DAGGEN-style random
+// graphs (Section IV-C of the paper).
+//
+// Usage:
+//
+//	emts-daggen -type fft -points 8 -seed 1 > fft8.json
+//	emts-daggen -type strassen -seed 2 > strassen.json
+//	emts-daggen -type random -n 100 -width 0.5 -regularity 0.2 -density 0.8 \
+//	            -jump 2 -seed 3 > irregular.json
+//	emts-daggen -type fft -points 4 -dot      # Graphviz output instead of JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"emts"
+)
+
+func main() {
+	var (
+		typ        = flag.String("type", "random", "graph family: fft, strassen, random")
+		points     = flag.Int("points", 8, "fft: input points (power of two; 2,4,8,16 in the paper)")
+		n          = flag.Int("n", 100, "random: number of tasks")
+		width      = flag.Float64("width", 0.5, "random: width parameter in ]0,1]")
+		regularity = flag.Float64("regularity", 0.5, "random: regularity parameter in [0,1]")
+		density    = flag.Float64("density", 0.5, "random: density parameter in ]0,1]")
+		jump       = flag.Int("jump", 0, "random: jump parameter (0 = layered)")
+		seed       = flag.Int64("seed", 1, "random seed for shape and task complexities")
+		dot        = flag.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+		stats      = flag.Bool("stats", false, "print PTG characterization instead of the graph")
+		out        = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*typ, *points, *n, *width, *regularity, *density, *jump, *seed, *dot, *stats, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-daggen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(typ string, points, n int, width, regularity, density float64, jump int, seed int64, dot, stats bool, out string) error {
+	var (
+		g   *emts.Graph
+		err error
+	)
+	switch typ {
+	case "fft":
+		g, err = emts.GenerateFFT(points, seed)
+	case "strassen":
+		g, err = emts.GenerateStrassen(seed)
+	case "random":
+		g, err = emts.GenerateRandom(emts.RandomGraphConfig{
+			N: n, Width: width, Regularity: regularity, Density: density, Jump: jump,
+		}, seed)
+	default:
+		return fmt.Errorf("unknown -type %q (fft, strassen, random)", typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if stats {
+		return printStats(w, g)
+	}
+	if dot {
+		_, err = fmt.Fprint(w, g.DOT())
+		return err
+	}
+	if err := g.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d tasks, %d edges, depth %d, max width %d\n",
+		g.Name(), g.NumTasks(), g.NumEdges(), g.Depth(), g.MaxWidth())
+	return nil
+}
+
+// printStats characterizes a PTG: shape metrics, cost distribution, and the
+// sequential/critical-path bounds on both paper clusters.
+func printStats(w io.Writer, g *emts.Graph) error {
+	var totalFlops, minFlops, maxFlops float64
+	minFlops = math.Inf(1)
+	for _, task := range g.Tasks() {
+		totalFlops += task.Flops
+		if task.Flops < minFlops {
+			minFlops = task.Flops
+		}
+		if task.Flops > maxFlops {
+			maxFlops = task.Flops
+		}
+	}
+	fmt.Fprintf(w, "graph:        %s\n", g.Name())
+	fmt.Fprintf(w, "tasks:        %d\n", g.NumTasks())
+	fmt.Fprintf(w, "edges:        %d\n", g.NumEdges())
+	fmt.Fprintf(w, "depth:        %d levels\n", g.Depth())
+	fmt.Fprintf(w, "max width:    %d tasks\n", g.MaxWidth())
+	fmt.Fprintf(w, "total work:   %.3g GFLOP\n", totalFlops/1e9)
+	fmt.Fprintf(w, "task cost:    %.3g .. %.3g GFLOP\n", minFlops/1e9, maxFlops/1e9)
+	for _, cluster := range []emts.Cluster{emts.Chti(), emts.Grelon()} {
+		tab, err := emts.NewTimeTable(g, emts.Amdahl(), cluster)
+		if err != nil {
+			return err
+		}
+		ones := make(emts.Allocation, g.NumTasks())
+		for i := range ones {
+			ones[i] = 1
+		}
+		seq, err := emts.Makespan(g, tab, ones)
+		if err != nil {
+			return err
+		}
+		cp := g.CriticalPathLength(func(id emts.TaskID) float64 { return tab.Time(id, 1) })
+		fmt.Fprintf(w, "%-8s      seq-alloc makespan %.4g s, 1-proc critical path %.4g s\n",
+			cluster.Name+":", seq, cp)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emts"
+)
+
+func TestGenerateFFTToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fft.json")
+	if err := run("fft", 8, 0, 0, 0, 0, 0, 1, false, false, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := emts.ReadGraph(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 39 {
+		t.Fatalf("%d tasks", g.NumTasks())
+	}
+}
+
+func TestGenerateStrassen(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.json")
+	if err := run("strassen", 0, 0, 0, 0, 0, 0, 2, false, false, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRandomDOT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.dot")
+	if err := run("random", 0, 30, 0.5, 0.5, 0.5, 1, 3, true, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph") {
+		t.Fatal("not DOT output")
+	}
+}
+
+func TestUnknownType(t *testing.T) {
+	if err := run("nope", 0, 0, 0, 0, 0, 0, 1, false, false, ""); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	if err := run("fft", 3, 0, 0, 0, 0, 0, 1, false, false, ""); err == nil {
+		t.Fatal("fft with 3 points accepted")
+	}
+	if err := run("random", 0, 0, 0.5, 0.5, 0.5, 0, 1, false, false, ""); err == nil {
+		t.Fatal("random with n=0 accepted")
+	}
+}
+
+func TestStatsMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "stats.txt")
+	if err := run("fft", 8, 0, 0, 0, 0, 0, 1, false, true, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tasks:        39", "chti:", "grelon:", "critical path"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("stats missing %q:\n%s", want, data)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command emts-experiments regenerates the paper's evaluation artifacts:
+//
+//	-fig 1       Figure 1  — PDGEMM-like time vs. processor count (Model 2)
+//	-fig 3       Figure 3  — mutation-operator density, empirical vs analytic
+//	-fig 4       Figure 4  — rel. makespan MCPA/HCPA vs EMTS5, Model 1
+//	-fig 5       Figure 5  — rel. makespan vs EMTS5 and EMTS10, Model 2
+//	-fig 6       Figure 6  — MCPA vs EMTS10 Gantt charts (ASCII + SVG files)
+//	-runtime     Section V-B run-time table
+//	-all         everything above
+//
+// -scale in ]0,1] shrinks the instance counts of Figures 4/5 (1 = the
+// paper's full workload: 400 FFT + 100 Strassen + 36 layered + 108 irregular
+// instances per cluster). SVG output for Figure 6 lands in -outdir.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"emts/internal/exp"
+	"emts/internal/platform"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (1, 3, 4, 5, 6); 0 = none")
+		runtime = flag.Bool("runtime", false, "regenerate the Section V-B run-time table")
+		searchC = flag.Bool("search", false, "run the search-method comparison (future work, Section VI)")
+		conv    = flag.Bool("convergence", false, "trace EMTS5/EMTS10 convergence (SVG + CSV)")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		scale   = flag.Float64("scale", 0.1, "workload scale in ]0,1] for figures 4/5 (1 = paper size)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		samples = flag.Int("samples", 1_000_000, "figure 3 sample count")
+		inst    = flag.Int("instances", 5, "run-time table instances per class")
+		outdir  = flag.String("outdir", ".", "directory for SVG artifacts (figure 6)")
+	)
+	flag.Parse()
+	if err := run(*fig, *runtime, *searchC, *conv, *all, *scale, *seed, *samples, *inst, *outdir); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, runtimeTable, searchCmp, convergence, all bool, scale float64, seed int64, samples, instances int, outdir string) error {
+	did := false
+	want := func(n int) bool { return all || fig == n }
+
+	writeCSV := func(name, content string) error {
+		path := filepath.Join(outdir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+
+	if want(1) {
+		did = true
+		r, err := exp.Figure1(32)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if err := writeCSV("figure1.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want(3) {
+		did = true
+		r, err := exp.Figure3(samples, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if err := writeCSV("figure3.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if want(4) {
+		did = true
+		if err := relMakespan("amdahl", "emts5", scale, seed, filepath.Join(outdir, "figure4.svg")); err != nil {
+			return err
+		}
+	}
+	if want(5) {
+		did = true
+		for _, emtsName := range []string{"emts5", "emts10"} {
+			svg := filepath.Join(outdir, "figure5-"+emtsName+".svg")
+			if err := relMakespan("synthetic", emtsName, scale, seed, svg); err != nil {
+				return err
+			}
+		}
+	}
+	if want(6) {
+		did = true
+		r, err := exp.Figure6(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		for name, s := range map[string]interface{ SVG(int, int) string }{
+			"figure6-mcpa.svg": r.MCPA,
+			"figure6-emts.svg": r.EMTS,
+		} {
+			path := filepath.Join(outdir, name)
+			if err := os.WriteFile(path, []byte(s.SVG(1200, 800)), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	if all || runtimeTable {
+		did = true
+		r, err := exp.RuntimeTable(instances, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		if err := writeCSV("runtime.csv", r.CSV()); err != nil {
+			return err
+		}
+	}
+	if all || searchCmp {
+		did = true
+		w, err := exp.IrregularWorkload(50, 1, seed+50_000)
+		if err != nil {
+			return err
+		}
+		if len(w.Graphs) > 3*instances {
+			w.Graphs = w.Graphs[:3*instances]
+		}
+		for _, budget := range []int{130, 1010} {
+			r, err := exp.CompareSearchMethods(w, platform.Grelon(), "synthetic", budget, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Format())
+			if err := writeCSV(fmt.Sprintf("search-budget%d.csv", budget), r.CSV()); err != nil {
+				return err
+			}
+		}
+	}
+	if all || convergence {
+		did = true
+		w, err := exp.IrregularWorkload(100, 1, seed+60_000)
+		if err != nil {
+			return err
+		}
+		if len(w.Graphs) > 3*instances {
+			w.Graphs = w.Graphs[:3*instances]
+		}
+		traces := map[string]*exp.Convergence{}
+		for _, emtsName := range []string{"emts5", "emts10"} {
+			c, err := exp.ConvergenceTrace(w, platform.Grelon(), "synthetic", emtsName, seed)
+			if err != nil {
+				return err
+			}
+			traces[emtsName] = c
+			fmt.Printf("%s convergence (mean best relative to seeds, %d instances):\n", emtsName, c.Instances)
+			for u, v := range c.MeanRelative {
+				fmt.Printf("  gen %2d: %.4f\n", u, v)
+			}
+			if err := writeCSV("convergence-"+emtsName+".csv", c.CSV()); err != nil {
+				return err
+			}
+		}
+		svgPath := filepath.Join(outdir, "convergence.svg")
+		if err := os.WriteFile(svgPath, []byte(exp.ConvergenceSVG(traces, 700, 420)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", svgPath)
+	}
+	if !did {
+		return fmt.Errorf("nothing to do: pass -fig N, -runtime, -search, -convergence, or -all (see -h)")
+	}
+	return nil
+}
+
+func relMakespan(modelName, emtsName string, scale float64, seed int64, svgPath string) error {
+	ws, err := exp.PaperWorkloads(scale, seed)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, w := range ws {
+		total += len(w.Graphs)
+	}
+	fmt.Fprintf(os.Stderr, "running %s/%s on %d instances x 2 clusters (scale %g)...\n",
+		modelName, emtsName, total, scale)
+	start := time.Now()
+	res, err := exp.RelativeMakespan(exp.RelMakespanConfig{
+		ModelName: modelName,
+		EMTS:      emtsName,
+		Baselines: []string{"mcpa", "hcpa"},
+		Workloads: ws,
+		Clusters:  []platform.Cluster{platform.Chti(), platform.Grelon()},
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println(res.Format())
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(res.SVG(1100, 420)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", svgPath)
+		csvPath := strings.TrimSuffix(svgPath, ".svg") + ".csv"
+		if err := os.WriteFile(csvPath, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFigures1And3(t *testing.T) {
+	if err := run(1, false, false, false, false, 0.1, 1, 1000, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(3, false, false, false, false, 0.1, 1, 1000, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure6WritesSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(6, false, false, false, false, 0.1, 1, 1000, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure6-mcpa.svg", "figure6-emts.svg"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRuntimeTable(t *testing.T) {
+	if err := run(0, true, false, false, false, 0.1, 1, 1000, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNothingToDo(t *testing.T) {
+	if err := run(0, false, false, false, false, 0.1, 1, 1000, 1, t.TempDir()); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	if err := run(4, false, false, false, false, -1, 1, 1000, 1, t.TempDir()); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestSearchComparison(t *testing.T) {
+	if err := run(0, false, true, false, false, 0.1, 1, 1000, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergenceMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(0, false, false, true, false, 0.1, 1, 1000, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"convergence.svg", "convergence-emts5.csv", "convergence-emts10.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command emts-gantt renders a schedule JSON file (produced by
+// emts-sched -out) as an ASCII or SVG Gantt chart.
+//
+// Usage:
+//
+//	emts-gantt -in sched.json                    # ASCII to stdout
+//	emts-gantt -in sched.json -svg out.svg       # SVG file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"emts/internal/schedule"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "schedule JSON file (required)")
+		svg   = flag.String("svg", "", "write SVG to this file instead of printing ASCII")
+		width = flag.Int("width", 120, "ASCII width in columns")
+		w     = flag.Int("w", 1200, "SVG width in pixels")
+		h     = flag.Int("h", 800, "SVG height in pixels")
+	)
+	flag.Parse()
+	if err := run(*in, *svg, *width, *w, *h); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-gantt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, svg string, width, w, h int) error {
+	if in == "" {
+		return fmt.Errorf("missing -in (see -h)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	s, err := schedule.Read(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if svg == "" {
+		fmt.Print(s.ASCII(width))
+		return nil
+	}
+	if err := os.WriteFile(svg, []byte(s.SVG(w, h)), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (makespan %.4g s, %d tasks on %d procs)\n",
+		svg, s.Makespan(), len(s.Entries), s.Procs)
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emts/internal/schedule"
+)
+
+func writeSchedule(t *testing.T) string {
+	t.Helper()
+	s := &schedule.Schedule{
+		Graph: "test",
+		Procs: 2,
+		Entries: []schedule.Entry{
+			{Task: 0, Start: 0, End: 1, Procs: []int{0}},
+			{Task: 1, Start: 0, End: 2, Procs: []int{1}},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "s.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := s.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestASCIIOutput(t *testing.T) {
+	in := writeSchedule(t)
+	if err := run(in, "", 60, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	in := writeSchedule(t)
+	out := filepath.Join(t.TempDir(), "s.svg")
+	if err := run(in, out, 60, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Fatal("not SVG")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("", "", 60, 0, 0); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run("/does/not/exist", "", 60, 0, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", 60, 0, 0); err == nil {
+		t.Fatal("garbage schedule accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package emts_test
+
+import (
+	"fmt"
+	"strings"
+
+	"emts"
+)
+
+// ExampleOptimize shows the core loop: generate a PTG, optimize its
+// allocations with EMTS, and inspect the result.
+func ExampleOptimize() {
+	g, _ := emts.GenerateFFT(8, 42)
+	res, _ := emts.Optimize(g, emts.Grelon(), emts.Synthetic(), emts.EMTS5(42))
+	fmt.Println("tasks:", g.NumTasks())
+	fmt.Println("beats best seed:", res.Makespan <= res.BestSeedMakespan())
+	fmt.Println("generations recorded:", len(res.History)-1)
+	// Output:
+	// tasks: 39
+	// beats best seed: true
+	// generations recorded: 5
+}
+
+// ExampleNewGraph builds a PTG by hand with the builder API.
+func ExampleNewGraph() {
+	b := emts.NewGraph("pipeline")
+	extract := b.AddTask(emts.Task{Name: "extract", Flops: 10e9, Alpha: 0.2})
+	transform := b.AddTask(emts.Task{Name: "transform", Flops: 50e9, Alpha: 0.05})
+	load := b.AddTask(emts.Task{Name: "load", Flops: 5e9, Alpha: 0.4})
+	b.AddEdge(extract, transform)
+	b.AddEdge(transform, load)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.NumTasks(), "tasks,", g.NumEdges(), "edges, depth", g.Depth())
+	// Output: 3 tasks, 2 edges, depth 3
+}
+
+// ExampleCompare runs several algorithms on one instance and prints the
+// winner class.
+func ExampleCompare() {
+	g, _ := emts.GenerateStrassen(7)
+	reports, _ := emts.Compare(g, emts.Grelon(), "synthetic",
+		[]string{"one", "mcpa", "emts5"}, 7)
+	// Reports are sorted by makespan; EMTS seeds from MCPA so it cannot lose.
+	fmt.Println("winner:", reports[0].Algorithm)
+	fmt.Println("one-proc baseline last:", reports[len(reports)-1].Algorithm == "one")
+	// Output:
+	// winner: emts5
+	// one-proc baseline last: true
+}
+
+// ExampleMapSchedule separates the two steps: allocate with a heuristic,
+// then map, then validate and render.
+func ExampleMapSchedule() {
+	g, _ := emts.GenerateFFT(4, 3)
+	tab, _ := emts.NewTimeTable(g, emts.Amdahl(), emts.Chti())
+	alloc, _ := emts.MCPA().Allocate(g, tab)
+	sched, _ := emts.MapSchedule(g, tab, alloc)
+	fmt.Println("valid:", sched.Validate(g, tab) == nil)
+	fmt.Println("gantt header:", strings.Split(sched.ASCII(40), ":")[0])
+	// Output:
+	// valid: true
+	// gantt header: schedule "fft-4"
+}
+
+// ExampleModelFunc plugs a custom non-monotonic execution-time model into
+// the scheduler — EMTS never looks inside it.
+func ExampleModelFunc() {
+	weird := emts.ModelFunc("spiky", func(v emts.Task, p int, c emts.Cluster) float64 {
+		t := (v.Alpha + (1-v.Alpha)/float64(p)) * c.SequentialTime(v.Flops)
+		if p%5 == 0 {
+			t *= 3 // multiples of 5 are terrible
+		}
+		return t
+	})
+	g, _ := emts.GenerateStrassen(9)
+	res, _ := emts.Optimize(g, emts.Chti(), weird, emts.EMTS10(9))
+	bad := 0
+	for _, s := range res.Alloc {
+		if s%5 == 0 {
+			bad++
+		}
+	}
+	fmt.Println("tasks on penalized counts:", bad)
+	// Output: tasks on penalized counts: 0
+}

@@ -1,0 +1,69 @@
+// Batchqueue: the paper's motivating deployment scenario (Section II-A) end
+// to end. A stream of scientific-workflow jobs arrives at the Grelon cluster;
+// the batch scheduler grants each a partition, and a PTG scheduler computes
+// the job's internal schedule. We compare how the choice of PTG scheduler
+// (MCPA vs EMTS5) and partition policy changes what the users experience:
+// waiting time and turnaround.
+//
+// Run with: go run ./examples/batchqueue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emts"
+)
+
+func main() {
+	// Eight jobs of mixed shape arriving over half an hour.
+	var jobs []emts.BatchJob
+	for i := 0; i < 8; i++ {
+		var (
+			g   *emts.Graph
+			err error
+		)
+		switch i % 3 {
+		case 0:
+			g, err = emts.GenerateFFT(16, int64(i))
+		case 1:
+			g, err = emts.GenerateStrassen(int64(i))
+		default:
+			g, err = emts.GenerateRandom(emts.RandomGraphConfig{
+				N: 100, Width: 0.5, Regularity: 0.2, Density: 0.5, Jump: 2,
+			}, int64(i))
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, emts.BatchJob{ID: i, Graph: g, Arrival: float64(i) * 240})
+	}
+
+	policies := []emts.PartitionPolicy{
+		emts.WholeClusterPolicy(),
+		emts.FractionPolicy(0.5),
+		emts.WidthMatchedPolicy(),
+	}
+	fmt.Printf("%-16s %-10s %12s %14s %12s %8s\n",
+		"policy", "scheduler", "wait [s]", "turnaround [s]", "makespan [s]", "util")
+	for _, policy := range policies {
+		for _, algo := range []string{"mcpa", "emts5"} {
+			res, err := emts.SimulateBatch(jobs, emts.BatchConfig{
+				Cluster:   emts.Grelon(),
+				ModelName: "synthetic",
+				Algorithm: algo,
+				Policy:    policy,
+				Backfill:  true,
+				Seed:      1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-16s %-10s %12.1f %14.1f %12.1f %7.1f%%\n",
+				res.Policy, res.Algorithm, res.MeanWait, res.MeanTurnaround,
+				res.Makespan, 100*res.Utilization)
+		}
+	}
+	fmt.Println("\nA better PTG scheduler (EMTS5) shortens every job, which compounds into")
+	fmt.Println("lower queueing delay for everyone behind it — the paper's Section II-A story.")
+}

@@ -1,0 +1,50 @@
+// Quickstart: generate an FFT parallel task graph, schedule it on the Grelon
+// cluster with EMTS under the non-monotonic execution-time model, and compare
+// against the heuristics EMTS started from.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emts"
+)
+
+func main() {
+	// A 39-task FFT PTG (8 input points) with randomized task complexities,
+	// exactly as generated for the paper's evaluation (Section IV-C).
+	g, err := emts.GenerateFFT(8, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PTG %s: %d tasks, %d edges, depth %d\n",
+		g.Name(), g.NumTasks(), g.NumEdges(), g.Depth())
+
+	// Optimize the processor allocations with the (5+25)-EA for 5
+	// generations (EMTS5), starting from the MCPA, HCPA, and Δ-CP solutions.
+	res, err := emts.Optimize(g, emts.Grelon(), emts.Synthetic(), emts.EMTS5(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nstarting heuristics:")
+	for _, s := range res.Seeds {
+		if s.Err != nil {
+			fmt.Printf("  %-10s failed: %v\n", s.Name, s.Err)
+			continue
+		}
+		fmt.Printf("  %-10s makespan %8.2f s\n", s.Name, s.Makespan)
+	}
+	fmt.Printf("\nEMTS5 makespan: %8.2f s (%.1f%% better than the best seed)\n",
+		res.Makespan, 100*(1-res.Makespan/res.BestSeedMakespan()))
+
+	fmt.Println("\nconvergence (best makespan after each generation):")
+	for u, h := range res.History {
+		fmt.Printf("  gen %d: %8.2f s\n", u, h)
+	}
+
+	fmt.Println()
+	fmt.Print(res.Schedule.ASCII(100))
+}

@@ -1,0 +1,69 @@
+// Sweep: study how the EMTS advantage grows with cluster size — the paper's
+// observation that "EMTS performs comparatively better for larger platforms"
+// (Section V-A) — by sweeping the processor count from 8 to 128 on a fixed
+// batch of irregular 100-task PTGs under the non-monotonic model.
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emts"
+)
+
+func main() {
+	const instances = 5
+	var graphs []*emts.Graph
+	for i := 0; i < instances; i++ {
+		g, err := emts.GenerateRandom(emts.RandomGraphConfig{
+			N: 100, Width: 0.5, Regularity: 0.2, Density: 0.5, Jump: 2,
+		}, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	fmt.Printf("mean makespan over %d irregular 100-task PTGs (Model 2)\n\n", instances)
+	fmt.Printf("%6s %12s %12s %12s %10s\n", "procs", "MCPA [s]", "EMTS5 [s]", "EMTS10 [s]", "MCPA/E5")
+	for _, procs := range []int{8, 16, 32, 64, 128} {
+		cluster, err := emts.NewCluster(fmt.Sprintf("sweep-%d", procs), procs, 3.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var mcpaSum, e5Sum, e10Sum float64
+		for _, g := range graphs {
+			tab, err := emts.NewTimeTable(g, emts.Synthetic(), cluster)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := emts.MCPA().Allocate(g, tab)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ms, err := emts.Makespan(g, tab, a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mcpaSum += ms
+
+			r5, err := emts.OptimizeTable(g, tab, emts.EMTS5(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			e5Sum += r5.Makespan
+
+			r10, err := emts.OptimizeTable(g, tab, emts.EMTS10(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			e10Sum += r10.Makespan
+		}
+		n := float64(instances)
+		fmt.Printf("%6d %12.2f %12.2f %12.2f %10.3f\n",
+			procs, mcpaSum/n, e5Sum/n, e10Sum/n, mcpaSum/e5Sum)
+	}
+	fmt.Println("\nMCPA/E5 > 1 means EMTS5 wins; the ratio should grow with the cluster size.")
+}

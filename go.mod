@@ -1,0 +1,3 @@
+module emts
+
+go 1.22

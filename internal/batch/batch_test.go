@@ -1,0 +1,241 @@
+package batch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"emts/internal/daggen"
+	"emts/internal/platform"
+)
+
+func makeJobs(t *testing.T, n int, arrivalGap float64) []Job {
+	t.Helper()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		g, err := daggen.Strassen(daggen.DefaultCosts(), int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{ID: i, Graph: g, Arrival: float64(i) * arrivalGap}
+	}
+	return jobs
+}
+
+func TestWholeClusterSerializesJobs(t *testing.T) {
+	jobs := makeJobs(t, 3, 0)
+	res, err := Simulate(jobs, Config{
+		Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "mcpa",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whole-cluster partitions cannot overlap: job i+1 starts at job i's end.
+	for i := 1; i < len(res.Jobs); i++ {
+		if res.Jobs[i].Start < res.Jobs[i-1].Finish-1e-9 {
+			t.Fatalf("jobs overlap: job %d starts %g before %g", i, res.Jobs[i].Start, res.Jobs[i-1].Finish)
+		}
+	}
+	if res.MeanWait <= 0 {
+		t.Fatal("simultaneous arrivals must queue")
+	}
+}
+
+func TestFractionPolicySharesCluster(t *testing.T) {
+	jobs := makeJobs(t, 4, 0)
+	whole, err := Simulate(jobs, Config{
+		Cluster: platform.Grelon(), ModelName: "synthetic", Algorithm: "mcpa",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Simulate(jobs, Config{
+		Cluster: platform.Grelon(), ModelName: "synthetic", Algorithm: "mcpa",
+		Policy: FixedFraction{Frac: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four quarter-partitions run concurrently: queueing shrinks.
+	if shared.MeanWait >= whole.MeanWait {
+		t.Fatalf("space sharing did not reduce waiting: %g vs %g", shared.MeanWait, whole.MeanWait)
+	}
+}
+
+func TestWidthMatchedPolicy(t *testing.T) {
+	jobs := makeJobs(t, 2, 10)
+	res, err := Simulate(jobs, Config{
+		Cluster: platform.Grelon(), ModelName: "amdahl", Algorithm: "cpa",
+		Policy: WidthMatched{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strassen's max width is 10 tasks; granted partitions match it.
+	for _, j := range res.Jobs {
+		if j.Procs != 10 {
+			t.Fatalf("job %d granted %d procs, want 10", j.ID, j.Procs)
+		}
+	}
+}
+
+func TestBackfillingStartsSmallJobsEarlier(t *testing.T) {
+	// Job 0 huge partition, job 1 arrives later but needs few processors
+	// while job 0 still queues behind job -1... construct: two jobs at t=0
+	// with half partitions and one at t=0 needing the full cluster; strict
+	// FCFS forces the last small job to wait for the big one's start.
+	g1, err := daggen.Strassen(daggen.DefaultCosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := daggen.Strassen(daggen.DefaultCosts(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := daggen.Strassen(daggen.DefaultCosts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{
+		{ID: 0, Graph: g1, Arrival: 0},
+		{ID: 1, Graph: g2, Arrival: 0},
+		{ID: 2, Graph: g3, Arrival: 0},
+	}
+	policy := perJobPolicy{0: 15, 1: 20, 2: 5} // job 1 needs the whole cluster
+	strict, err := Simulate(jobs, Config{
+		Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "mcpa", Policy: policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backfill, err := Simulate(jobs, Config{
+		Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "mcpa", Policy: policy,
+		Backfill: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backfill.Jobs[2].Start >= strict.Jobs[2].Start {
+		t.Fatalf("backfilling did not help the small job: %g vs %g",
+			backfill.Jobs[2].Start, strict.Jobs[2].Start)
+	}
+}
+
+// perJobPolicy grants a fixed size per job ID (test helper).
+type perJobPolicy map[int]int
+
+func (perJobPolicy) Name() string { return "per-job" }
+
+func (p perJobPolicy) Grant(j Job, c platform.Cluster) int { return p[j.ID] }
+
+func TestEMTSImprovesTurnaroundOverMCPA(t *testing.T) {
+	// The end-to-end claim: a better PTG scheduler shortens job durations
+	// and hence turnaround in the batch setting.
+	var jobs []Job
+	for i := 0; i < 3; i++ {
+		g, err := daggen.Random(daggen.RandomConfig{
+			N: 50, Width: 0.5, Regularity: 0.2, Density: 0.5, Jump: 2,
+		}, daggen.DefaultCosts(), int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{ID: i, Graph: g, Arrival: 0})
+	}
+	mcpa, err := Simulate(jobs, Config{
+		Cluster: platform.Grelon(), ModelName: "synthetic", Algorithm: "mcpa",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emts, err := Simulate(jobs, Config{
+		Cluster: platform.Grelon(), ModelName: "synthetic", Algorithm: "emts5", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emts.MeanTurnaround > mcpa.MeanTurnaround {
+		t.Fatalf("EMTS turnaround %g worse than MCPA %g", emts.MeanTurnaround, mcpa.MeanTurnaround)
+	}
+	if out := emts.Format(); !strings.Contains(out, "turnaround") {
+		t.Fatal("Format broken")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, Config{Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "cpa"}); err == nil {
+		t.Fatal("no jobs accepted")
+	}
+	jobs := makeJobs(t, 1, 0)
+	if _, err := Simulate(jobs, Config{ModelName: "amdahl", Algorithm: "cpa"}); err == nil {
+		t.Fatal("invalid cluster accepted")
+	}
+	bad := makeJobs(t, 1, 0)
+	bad[0].Arrival = -1
+	if _, err := Simulate(bad, Config{Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "cpa"}); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+	if _, err := Simulate(jobs, Config{Cluster: platform.Chti(), ModelName: "nope", Algorithm: "cpa"}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+	broken := perJobPolicy{0: 0}
+	if _, err := Simulate(jobs, Config{Cluster: platform.Chti(), ModelName: "amdahl", Algorithm: "cpa", Policy: broken}); err == nil {
+		t.Fatal("zero-proc grant accepted")
+	}
+}
+
+func TestSimulatePropertyNoOversubscription(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		jobs := make([]Job, n)
+		for i := range jobs {
+			g, err := daggen.FFT(4, daggen.DefaultCosts(), seed+int64(i))
+			if err != nil {
+				return false
+			}
+			jobs[i] = Job{ID: i, Graph: g, Arrival: rng.Float64() * 50}
+		}
+		cfg := Config{
+			Cluster:   platform.Chti(),
+			ModelName: "amdahl",
+			Algorithm: "cpa",
+			Policy:    FixedFraction{Frac: 0.1 + rng.Float64()*0.9},
+			Backfill:  rng.Intn(2) == 0,
+		}
+		res, err := Simulate(jobs, cfg)
+		if err != nil {
+			return false
+		}
+		// At any job start, total processors in use must fit the cluster:
+		// sweep events.
+		type ev struct {
+			t     float64
+			procs int
+		}
+		var evs []ev
+		for _, j := range res.Jobs {
+			if j.Start+1e-9 < 0 || j.Finish < j.Start {
+				return false
+			}
+			evs = append(evs, ev{j.Start, j.Procs}, ev{j.Finish, -j.Procs})
+		}
+		// Sort by time, releases first.
+		for i := 1; i < len(evs); i++ {
+			for k := i; k > 0 && (evs[k].t < evs[k-1].t || (evs[k].t == evs[k-1].t && evs[k].procs < evs[k-1].procs)); k-- {
+				evs[k], evs[k-1] = evs[k-1], evs[k]
+			}
+		}
+		used := 0
+		for _, e := range evs {
+			used += e.procs
+			if used > platform.Chti().Procs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

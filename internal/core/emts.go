@@ -1,0 +1,224 @@
+// Package core implements EMTS — Evolutionary Moldable Task Scheduling — the
+// primary contribution of Hunold & Lepping (CLUSTER 2011), Section III.
+//
+// EMTS is a two-step scheduler. The allocation step is a (μ+λ) evolution
+// strategy over allocation vectors whose fitness is the makespan produced by
+// the list-scheduling mapping step (package listsched). The initial
+// population is seeded with the allocations computed by other heuristics —
+// MCPA, HCPA, and the Δ-critical-path heuristic (package alloc) — so the
+// search starts from already-good solutions and improves them within a small,
+// fixed number of generations. Because the fitness function only queries an
+// execution-time table, EMTS works unchanged with any model, monotonic or
+// not.
+//
+// The two configurations evaluated in the paper are provided as presets:
+// EMTS5, a (5+25)-EA run for 5 generations, and EMTS10, a (10+100)-EA run for
+// 10 generations.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"emts/internal/alloc"
+	"emts/internal/dag"
+	"emts/internal/ea"
+	"emts/internal/listsched"
+	"emts/internal/model"
+	"emts/internal/schedule"
+)
+
+// Params configures one EMTS run. The zero value is not runnable; start from
+// EMTS5, EMTS10, or DefaultParams and override fields as needed.
+type Params struct {
+	// Mu, Lambda, Generations define the (μ+λ)-EA (Section IV: (5+25)×5 for
+	// EMTS5, (10+100)×10 for EMTS10).
+	Mu, Lambda, Generations int
+	// Fm is the initial mutation fraction (paper: 0.33).
+	Fm float64
+	// Mutation is the offspring operator; nil means the paper's Eq. (1)
+	// operator with a = 0.2, σ₁ = σ₂ = 5.
+	Mutation ea.Mutator
+	// CrossoverProb enables the optional uniform-crossover extension
+	// (ablation A4); the paper's EMTS is mutation-only (0).
+	CrossoverProb float64
+	// Seeds produce the starting individuals (Section III-B). Nil means
+	// DefaultSeeds(Seed): MCPA, HCPA, Δ-CP(0.9), the all-ones allocation,
+	// and one random individual. Seed allocators that fail are skipped (the
+	// EA pads with random individuals); at least one must succeed.
+	Seeds []alloc.Allocator
+	// Strategy selects plus- (default, the paper's choice) or
+	// comma-selection; see ea.Strategy.
+	Strategy ea.Strategy
+	// SelfAdaptive enables per-individual mutation step sizes (contemporary
+	// ES style); see ea.Config.SelfAdaptive. InitialSigma 0 means the
+	// paper's σ = 5.
+	SelfAdaptive bool
+	// InitialSigma is the starting step size for self-adaptation.
+	InitialSigma float64
+	// OnGeneration, when non-nil, receives per-generation statistics.
+	OnGeneration func(ea.GenStats)
+	// UseRejection enables the future-work rejection strategy of Section VI
+	// inside the fitness function.
+	UseRejection bool
+	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed drives every stochastic choice. Equal seeds ⇒ identical results,
+	// which is how the paper guarantees EMTS10 finds every EMTS5 solution.
+	Seed int64
+}
+
+// EMTS5 returns the paper's (5+25)-EA preset, run for 5 generations.
+func EMTS5(seed int64) Params {
+	return Params{Mu: 5, Lambda: 25, Generations: 5, Fm: 0.33, Seed: seed}
+}
+
+// EMTS10 returns the paper's (10+100)-EA preset, run for 10 generations.
+func EMTS10(seed int64) Params {
+	return Params{Mu: 10, Lambda: 100, Generations: 10, Fm: 0.33, Seed: seed}
+}
+
+// DefaultParams is an alias for EMTS5, the configuration the paper deems
+// applicable in practice for every workload size.
+func DefaultParams(seed int64) Params { return EMTS5(seed) }
+
+// DefaultSeeds returns the paper's starting-solution providers: the
+// allocation functions of MCPA and HCPA (Section III-B), the Δ-critical-path
+// heuristic with Δ = 0.9 (Section IV), the all-ones allocation, and one
+// seeded random individual.
+func DefaultSeeds(seed int64) []alloc.Allocator {
+	return []alloc.Allocator{
+		alloc.MCPA{},
+		alloc.HCPA{},
+		alloc.DeltaCP{Delta: 0.9},
+		alloc.OneEach{},
+		alloc.Random{Seed: seed},
+	}
+}
+
+// SeedResult records how one starting heuristic performed, for reporting and
+// for the relative-makespan figures.
+type SeedResult struct {
+	// Name is the allocator's name.
+	Name string
+	// Makespan is the fitness of the heuristic's allocation under the EMTS
+	// mapping function.
+	Makespan float64
+	// Err is non-nil when the allocator failed and was skipped.
+	Err error
+}
+
+// Result is the outcome of one EMTS run.
+type Result struct {
+	// Schedule is the fully mapped best schedule (passes Validate).
+	Schedule *schedule.Schedule
+	// Alloc is the best allocation vector found.
+	Alloc schedule.Allocation
+	// Makespan is the fitness of Alloc — the optimization objective.
+	Makespan float64
+	// Seeds reports the starting heuristics and their makespans.
+	Seeds []SeedResult
+	// History is the best makespan after initialization and after each
+	// generation (non-increasing).
+	History []float64
+	// Evaluations counts fitness evaluations; Rejections counts the ones cut
+	// short by the rejection bound.
+	Evaluations, Rejections int
+}
+
+// BestSeedMakespan returns the smallest makespan among successful starting
+// heuristics, or +Inf if none succeeded. By plus-selection,
+// Result.Makespan <= BestSeedMakespan always holds.
+func (r *Result) BestSeedMakespan() float64 {
+	best := math.Inf(1)
+	for _, s := range r.Seeds {
+		if s.Err == nil && s.Makespan < best {
+			best = s.Makespan
+		}
+	}
+	return best
+}
+
+// Run executes EMTS on graph g with execution times tab (which also carries
+// the processor count of the platform).
+func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
+	if g.NumTasks() == 0 {
+		return nil, errors.New("emts: empty graph")
+	}
+	if tab.NumTasks() != g.NumTasks() {
+		return nil, fmt.Errorf("emts: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
+	}
+	procs := tab.Procs()
+
+	seeders := p.Seeds
+	if seeders == nil {
+		seeders = DefaultSeeds(p.Seed)
+	}
+	res := &Result{}
+	var seedAllocs []schedule.Allocation
+	for _, s := range seeders {
+		a, err := s.Allocate(g, tab)
+		if err != nil {
+			res.Seeds = append(res.Seeds, SeedResult{Name: s.Name(), Err: err})
+			continue
+		}
+		a.Clamp(procs)
+		ms, err := listsched.Makespan(g, tab, a)
+		if err != nil {
+			res.Seeds = append(res.Seeds, SeedResult{Name: s.Name(), Err: err})
+			continue
+		}
+		res.Seeds = append(res.Seeds, SeedResult{Name: s.Name(), Makespan: ms})
+		seedAllocs = append(seedAllocs, a)
+	}
+	if len(seedAllocs) == 0 && len(seeders) > 0 {
+		return nil, fmt.Errorf("emts: every starting heuristic failed (first: %v)", res.Seeds[0].Err)
+	}
+
+	fitness := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
+		s, err := listsched.MapWithOptions(g, tab, a, listsched.Options{
+			SkipProcSets: true,
+			RejectAbove:  rejectAbove,
+		})
+		if errors.Is(err, listsched.ErrRejected) {
+			return 0, ea.ErrRejected
+		}
+		if err != nil {
+			return 0, err
+		}
+		return s.Makespan(), nil
+	}
+
+	cfg := ea.Config{
+		Mu:            p.Mu,
+		Lambda:        p.Lambda,
+		Generations:   p.Generations,
+		Fm:            p.Fm,
+		Mutator:       p.Mutation,
+		CrossoverProb: p.CrossoverProb,
+		UseRejection:  p.UseRejection,
+		Workers:       p.Workers,
+		Seed:          p.Seed,
+		Strategy:      p.Strategy,
+		SelfAdaptive:  p.SelfAdaptive,
+		InitialSigma:  p.InitialSigma,
+		OnGeneration:  p.OnGeneration,
+	}
+	run, err := ea.Run(cfg, g.NumTasks(), procs, seedAllocs, fitness)
+	if err != nil {
+		return nil, err
+	}
+
+	sched, err := listsched.Map(g, tab, run.Best.Alloc)
+	if err != nil {
+		return nil, fmt.Errorf("emts: mapping best allocation: %w", err)
+	}
+	res.Schedule = sched
+	res.Alloc = run.Best.Alloc
+	res.Makespan = run.Best.Fitness
+	res.History = run.History
+	res.Evaluations = run.Evaluations
+	res.Rejections = run.Rejections
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// fileGraph is the on-disk JSON representation of a PTG, the format read by
+// the simulator (Section IV: "the simulator reads the description of the
+// PTG"). Edges reference tasks by index.
+type fileGraph struct {
+	Name  string     `json:"name"`
+	Tasks []fileTask `json:"tasks"`
+	Edges [][2]int   `json:"edges"`
+}
+
+type fileTask struct {
+	Name  string  `json:"name,omitempty"`
+	Flops float64 `json:"flops"`
+	Alpha float64 `json:"alpha"`
+	Data  float64 `json:"data,omitempty"`
+}
+
+// MarshalJSON encodes the graph in the PTG file format.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	fg := fileGraph{Name: g.name, Tasks: make([]fileTask, len(g.tasks))}
+	for i, t := range g.tasks {
+		fg.Tasks[i] = fileTask{Name: t.Name, Flops: t.Flops, Alpha: t.Alpha, Data: t.Data}
+	}
+	for _, e := range g.Edges() {
+		fg.Edges = append(fg.Edges, [2]int{int(e.Src), int(e.Dst)})
+	}
+	return json.Marshal(fg)
+}
+
+// Write encodes the graph as indented JSON to w.
+func (g *Graph) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// Read decodes a PTG from its JSON file format and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	var fg fileGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fg); err != nil {
+		return nil, fmt.Errorf("dag: decoding PTG: %w", err)
+	}
+	return fromFileGraph(fg)
+}
+
+// UnmarshalGraph decodes a PTG from JSON bytes and validates it.
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	var fg fileGraph
+	if err := json.Unmarshal(data, &fg); err != nil {
+		return nil, fmt.Errorf("dag: decoding PTG: %w", err)
+	}
+	return fromFileGraph(fg)
+}
+
+func fromFileGraph(fg fileGraph) (*Graph, error) {
+	b := NewBuilder(fg.Name)
+	for _, t := range fg.Tasks {
+		b.AddTask(Task{Name: t.Name, Flops: t.Flops, Alpha: t.Alpha, Data: t.Data})
+	}
+	for _, e := range fg.Edges {
+		b.AddEdge(TaskID(e[0]), TaskID(e[1]))
+	}
+	return b.Build()
+}
+
+// DOT renders the graph in Graphviz DOT syntax. Node labels show the task name
+// (or ID) and the cost in GFLOP.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", safeDOTName(g.name))
+	sb.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		label := t.Name
+		if label == "" {
+			label = fmt.Sprintf("v%d", t.ID)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\\n%.2f GFLOP\"];\n", t.ID, label, t.Flops/1e9)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e.Src, e.Dst)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func safeDOTName(name string) string {
+	if name == "" {
+		return "ptg"
+	}
+	return name
+}

@@ -1,0 +1,433 @@
+// Package dag implements the parallel task graph (PTG) model of Hunold and
+// Lepping, "Evolutionary Scheduling of Parallel Tasks Graphs onto Homogeneous
+// Clusters" (CLUSTER 2011), Section II-A.
+//
+// A PTG is a directed acyclic graph G = (V, E). Nodes represent moldable
+// parallel tasks; edges represent data or control dependencies. Each task
+// carries a computational cost in floating-point operations (FLOP), the size
+// of the dataset it operates on (in doubles), and the Amdahl fraction alpha of
+// non-parallelizable code used by the execution-time models.
+//
+// Graphs are immutable once built: construct them with a Builder, which
+// validates acyclicity and edge sanity at Build time. All analysis routines
+// (topological order, precedence levels, bottom/top levels, critical path)
+// operate on the immutable Graph and are safe for concurrent use.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task inside one Graph. IDs are dense: a graph with V
+// tasks uses IDs 0..V-1, so a TaskID doubles as an index into per-task slices
+// such as allocation vectors.
+type TaskID int
+
+// Task holds the static properties of one moldable task. The dynamic
+// properties (processor allocation, start time) live in allocation vectors and
+// schedules, not here.
+type Task struct {
+	// ID is the dense task identifier, equal to the task's index in the graph.
+	ID TaskID
+	// Name is an optional human-readable label (e.g. "butterfly-2-3").
+	Name string
+	// Flops is the computational cost of the task in floating-point
+	// operations. The sequential execution time on a processor with speed
+	// GFLOPS is Flops / (speed * 1e9).
+	Flops float64
+	// Alpha is the fraction of non-parallelizable code, 0 <= Alpha <= 1,
+	// used by Amdahl-law based execution-time models (Section IV-B).
+	Alpha float64
+	// Data is the size of the dataset the task operates on, measured in
+	// doubles (8 bytes). Only informative; cost generators derive Flops
+	// from it (Section IV-C).
+	Data float64
+}
+
+// Edge is a precedence constraint: Dst cannot start before Src has completed.
+type Edge struct {
+	Src, Dst TaskID
+}
+
+// Graph is an immutable parallel task graph. The zero value is an empty graph;
+// use a Builder to create non-empty graphs.
+type Graph struct {
+	name  string
+	tasks []Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	edges int
+}
+
+// Builder incrementally assembles a Graph. It is not safe for concurrent use.
+type Builder struct {
+	name  string
+	tasks []Task
+	succ  [][]TaskID
+	pred  [][]TaskID
+	seen  map[Edge]bool
+	err   error
+}
+
+// NewBuilder returns a Builder for a graph with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, seen: make(map[Edge]bool)}
+}
+
+// AddTask appends a task and returns its ID. The ID recorded inside the task
+// argument is overwritten with the assigned dense ID.
+func (b *Builder) AddTask(t Task) TaskID {
+	id := TaskID(len(b.tasks))
+	t.ID = id
+	if t.Flops < 0 {
+		b.fail(fmt.Errorf("dag: task %d (%q) has negative flops %g", id, t.Name, t.Flops))
+	}
+	if t.Alpha < 0 || t.Alpha > 1 {
+		b.fail(fmt.Errorf("dag: task %d (%q) has alpha %g outside [0,1]", id, t.Name, t.Alpha))
+	}
+	b.tasks = append(b.tasks, t)
+	b.succ = append(b.succ, nil)
+	b.pred = append(b.pred, nil)
+	return id
+}
+
+// AddEdge records the precedence constraint src -> dst. Duplicate edges are
+// ignored; self-loops and out-of-range endpoints are errors reported by Build.
+func (b *Builder) AddEdge(src, dst TaskID) {
+	if src < 0 || int(src) >= len(b.tasks) || dst < 0 || int(dst) >= len(b.tasks) {
+		b.fail(fmt.Errorf("dag: edge (%d,%d) references unknown task (have %d tasks)", src, dst, len(b.tasks)))
+		return
+	}
+	if src == dst {
+		b.fail(fmt.Errorf("dag: self-loop on task %d", src))
+		return
+	}
+	e := Edge{src, dst}
+	if b.seen[e] {
+		return
+	}
+	b.seen[e] = true
+	b.succ[src] = append(b.succ[src], dst)
+	b.pred[dst] = append(b.pred[dst], src)
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates the accumulated tasks and edges and returns the immutable
+// Graph. It fails if any AddTask/AddEdge call was invalid or if the edge set
+// contains a cycle.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &Graph{
+		name:  b.name,
+		tasks: append([]Task(nil), b.tasks...),
+		succ:  make([][]TaskID, len(b.tasks)),
+		pred:  make([][]TaskID, len(b.tasks)),
+		edges: len(b.seen),
+	}
+	for i := range b.succ {
+		g.succ[i] = append([]TaskID(nil), b.succ[i]...)
+		g.pred[i] = append([]TaskID(nil), b.pred[i]...)
+		// Deterministic adjacency order regardless of insertion order.
+		sort.Slice(g.succ[i], func(a, c int) bool { return g.succ[i][a] < g.succ[i][c] })
+		sort.Slice(g.pred[i], func(a, c int) bool { return g.pred[i][a] < g.pred[i][c] })
+	}
+	if _, err := g.TopologicalOrder(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for graphs known to be valid at compile time (tests,
+// examples). It panics on error.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the graph's label.
+func (g *Graph) Name() string { return g.name }
+
+// NumTasks returns V, the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Task returns the task with the given ID. It panics on out-of-range IDs,
+// consistent with slice indexing.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// Tasks returns a copy of the task list in ID order.
+func (g *Graph) Tasks() []Task { return append([]Task(nil), g.tasks...) }
+
+// Successors returns the tasks that directly depend on id. The returned slice
+// must not be modified.
+func (g *Graph) Successors(id TaskID) []TaskID { return g.succ[id] }
+
+// Predecessors returns the direct dependencies of id. The returned slice must
+// not be modified.
+func (g *Graph) Predecessors(id TaskID) []TaskID { return g.pred[id] }
+
+// Edges returns all edges in deterministic (src, dst) order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.edges)
+	for src := range g.succ {
+		for _, dst := range g.succ[src] {
+			es = append(es, Edge{TaskID(src), dst})
+		}
+	}
+	return es
+}
+
+// Sources returns the tasks without predecessors, in ID order.
+func (g *Graph) Sources() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.pred[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Sinks returns the tasks without successors, in ID order.
+func (g *Graph) Sinks() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.succ[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// ErrCycle reports that the edge set is not acyclic.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// TopologicalOrder returns the task IDs in a deterministic topological order
+// (Kahn's algorithm with a min-ID tie-break), or ErrCycle.
+func (g *Graph) TopologicalOrder() ([]TaskID, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for i := range g.tasks {
+		indeg[i] = len(g.pred[i])
+	}
+	// Min-heap over task IDs keeps the order deterministic and stable.
+	h := &idHeap{}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			h.push(TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for h.len() > 0 {
+		v := h.pop()
+		order = append(order, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				h.push(w)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// PrecedenceLevels returns, for each task, its depth from the sources
+// (sources have level 0; otherwise 1 + max over predecessors), together with
+// the tasks grouped by level. This is the "precedence level" of Section III-B
+// used by the Delta-critical heuristic and by MCPA's level bound.
+func (g *Graph) PrecedenceLevels() (level []int, byLevel [][]TaskID) {
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		panic("dag: PrecedenceLevels on cyclic graph that passed Build: " + err.Error())
+	}
+	level = make([]int, len(g.tasks))
+	maxLevel := 0
+	for _, v := range order {
+		l := 0
+		for _, p := range g.pred[v] {
+			if level[p]+1 > l {
+				l = level[p] + 1
+			}
+		}
+		level[v] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	byLevel = make([][]TaskID, maxLevel+1)
+	for i := range g.tasks {
+		byLevel[level[i]] = append(byLevel[level[i]], TaskID(i))
+	}
+	return level, byLevel
+}
+
+// CostFunc maps a task to its (current) execution time. Analysis routines take
+// a CostFunc so they work with any allocation and any execution-time model.
+type CostFunc func(id TaskID) float64
+
+// BottomLevels computes bl(v) = cost(v) + max over successors bl(succ) for
+// every task: the length of the longest path from v to a sink including v's
+// own execution time (footnote 1 of the paper).
+func (g *Graph) BottomLevels(cost CostFunc) []float64 {
+	order, _ := g.TopologicalOrder()
+	bl := make([]float64, len(g.tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		maxSucc := 0.0
+		for _, s := range g.succ[v] {
+			if bl[s] > maxSucc {
+				maxSucc = bl[s]
+			}
+		}
+		bl[v] = cost(v) + maxSucc
+	}
+	return bl
+}
+
+// TopLevels computes tl(v) = max over predecessors (tl(pred) + cost(pred)),
+// the earliest time v could start if processors were unlimited.
+func (g *Graph) TopLevels(cost CostFunc) []float64 {
+	order, _ := g.TopologicalOrder()
+	tl := make([]float64, len(g.tasks))
+	for _, v := range order {
+		maxPred := 0.0
+		for _, p := range g.pred[v] {
+			if t := tl[p] + cost(p); t > maxPred {
+				maxPred = t
+			}
+		}
+		tl[v] = maxPred
+	}
+	return tl
+}
+
+// CriticalPath returns one longest (by cost) source-to-sink path and its
+// length. Ties break toward the smaller task ID, so the result is
+// deterministic.
+func (g *Graph) CriticalPath(cost CostFunc) (path []TaskID, length float64) {
+	bl := g.BottomLevels(cost)
+	// Entry task: source with the largest bottom level.
+	cur := TaskID(-1)
+	for _, s := range g.Sources() {
+		if cur == -1 || bl[s] > bl[cur] {
+			cur = s
+		}
+	}
+	if cur == -1 {
+		return nil, 0
+	}
+	length = bl[cur]
+	for {
+		path = append(path, cur)
+		next := TaskID(-1)
+		for _, s := range g.succ[cur] {
+			if next == -1 || bl[s] > bl[next] {
+				next = s
+			}
+		}
+		if next == -1 {
+			return path, length
+		}
+		cur = next
+	}
+}
+
+// CriticalPathLength returns the length of the critical path: max bottom level
+// over all tasks.
+func (g *Graph) CriticalPathLength(cost CostFunc) float64 {
+	max := 0.0
+	for _, b := range g.BottomLevels(cost) {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// TotalWork returns the sum of cost(v) over all tasks.
+func (g *Graph) TotalWork(cost CostFunc) float64 {
+	sum := 0.0
+	for i := range g.tasks {
+		sum += cost(TaskID(i))
+	}
+	return sum
+}
+
+// MaxWidth returns the largest number of tasks in any precedence level, an
+// upper bound on task parallelism.
+func (g *Graph) MaxWidth() int {
+	_, byLevel := g.PrecedenceLevels()
+	w := 0
+	for _, l := range byLevel {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// Depth returns the number of precedence levels.
+func (g *Graph) Depth() int {
+	_, byLevel := g.PrecedenceLevels()
+	return len(byLevel)
+}
+
+// idHeap is a minimal binary min-heap over TaskIDs; container/heap's interface
+// indirection is unnecessary for this single use.
+type idHeap struct{ a []TaskID }
+
+func (h *idHeap) len() int { return len(h.a) }
+
+func (h *idHeap) push(v TaskID) {
+	h.a = append(h.a, v)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent] <= h.a[i] {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *idHeap) pop() TaskID {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.a[l] < h.a[small] {
+			small = l
+		}
+		if r < last && h.a[r] < h.a[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,353 @@
+package dag
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds the four-task diamond 0 -> {1,2} -> 3 with unit-ish costs.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("diamond")
+	for i := 0; i < 4; i++ {
+		b.AddTask(Task{Name: "t", Flops: float64(i+1) * 1e9, Alpha: 0.1})
+	}
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuilderAssignsDenseIDs(t *testing.T) {
+	b := NewBuilder("x")
+	id0 := b.AddTask(Task{Flops: 1})
+	id1 := b.AddTask(Task{Flops: 2})
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("got IDs %d,%d want 0,1", id0, id1)
+	}
+	g := b.MustBuild()
+	if g.Task(1).Flops != 2 {
+		t.Fatalf("task 1 flops = %g", g.Task(1).Flops)
+	}
+}
+
+func TestBuilderRejectsCycle(t *testing.T) {
+	b := NewBuilder("cyc")
+	b.AddTask(Task{Flops: 1})
+	b.AddTask(Task{Flops: 1})
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected cycle error")
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	b := NewBuilder("self")
+	b.AddTask(Task{Flops: 1})
+	b.AddEdge(0, 0)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected self-loop error")
+	}
+}
+
+func TestBuilderRejectsBadEndpoints(t *testing.T) {
+	b := NewBuilder("bad")
+	b.AddTask(Task{Flops: 1})
+	b.AddEdge(0, 5)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected endpoint error")
+	}
+}
+
+func TestBuilderRejectsNegativeFlops(t *testing.T) {
+	b := NewBuilder("neg")
+	b.AddTask(Task{Flops: -1})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected negative-flops error")
+	}
+}
+
+func TestBuilderRejectsBadAlpha(t *testing.T) {
+	b := NewBuilder("alpha")
+	b.AddTask(Task{Flops: 1, Alpha: 1.5})
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected alpha error")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	b := NewBuilder("dup")
+	b.AddTask(Task{Flops: 1})
+	b.AddTask(Task{Flops: 1})
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestTopologicalOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TaskID{0, 1, 2, 3}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	g := diamond(t)
+	if got := g.Sources(); !reflect.DeepEqual(got, []TaskID{0}) {
+		t.Fatalf("Sources = %v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []TaskID{3}) {
+		t.Fatalf("Sinks = %v", got)
+	}
+}
+
+func TestPrecedenceLevels(t *testing.T) {
+	g := diamond(t)
+	level, byLevel := g.PrecedenceLevels()
+	if !reflect.DeepEqual(level, []int{0, 1, 1, 2}) {
+		t.Fatalf("levels = %v", level)
+	}
+	if len(byLevel) != 3 || len(byLevel[1]) != 2 {
+		t.Fatalf("byLevel = %v", byLevel)
+	}
+}
+
+func TestBottomLevels(t *testing.T) {
+	g := diamond(t)
+	unit := func(id TaskID) float64 { return 1 }
+	bl := g.BottomLevels(unit)
+	want := []float64{3, 2, 2, 1}
+	if !reflect.DeepEqual(bl, want) {
+		t.Fatalf("bl = %v, want %v", bl, want)
+	}
+}
+
+func TestTopLevels(t *testing.T) {
+	g := diamond(t)
+	unit := func(id TaskID) float64 { return 1 }
+	tl := g.TopLevels(unit)
+	want := []float64{0, 1, 1, 2}
+	if !reflect.DeepEqual(tl, want) {
+		t.Fatalf("tl = %v, want %v", tl, want)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := diamond(t)
+	// Cost of task i is i+1, so the heavier branch is through task 2.
+	cost := func(id TaskID) float64 { return float64(id + 1) }
+	path, length := g.CriticalPath(cost)
+	if !reflect.DeepEqual(path, []TaskID{0, 2, 3}) {
+		t.Fatalf("path = %v", path)
+	}
+	if length != 1+3+4 {
+		t.Fatalf("length = %g, want 8", length)
+	}
+	if got := g.CriticalPathLength(cost); got != length {
+		t.Fatalf("CriticalPathLength = %g, want %g", got, length)
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	g := diamond(t)
+	cost := func(id TaskID) float64 { return 2 }
+	if got := g.TotalWork(cost); got != 8 {
+		t.Fatalf("TotalWork = %g, want 8", got)
+	}
+}
+
+func TestWidthAndDepth(t *testing.T) {
+	g := diamond(t)
+	if g.MaxWidth() != 2 {
+		t.Fatalf("MaxWidth = %d", g.MaxWidth())
+	}
+	if g.Depth() != 3 {
+		t.Fatalf("Depth = %d", g.Depth())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %d/%d vs %d/%d tasks/edges",
+			g2.NumTasks(), g2.NumEdges(), g.NumTasks(), g.NumEdges())
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g2.Task(TaskID(i)).Flops != g.Task(TaskID(i)).Flops {
+			t.Fatalf("task %d flops changed", i)
+		}
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Fatalf("edges changed: %v vs %v", g2.Edges(), g.Edges())
+	}
+}
+
+func TestReadRejectsCyclicFile(t *testing.T) {
+	src := `{"name":"c","tasks":[{"flops":1},{"flops":1}],"edges":[[0,1],[1,0]]}`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Fatal("expected error for cyclic PTG file")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := diamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "n0 -> n1", "n2 -> n3"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// randomLayeredGraph builds a random layered DAG for property tests.
+func randomLayeredGraph(rng *rand.Rand, maxTasks int) *Graph {
+	b := NewBuilder("prop")
+	n := 2 + rng.Intn(maxTasks-1)
+	for i := 0; i < n; i++ {
+		b.AddTask(Task{Flops: 1e9 * (1 + rng.Float64()), Alpha: rng.Float64() / 4})
+	}
+	// Edges only from lower to higher IDs: acyclic by construction.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				b.AddEdge(TaskID(i), TaskID(j))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestTopologicalOrderPropertyRespectsEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLayeredGraph(rng, 30)
+		order, err := g.TopologicalOrder()
+		if err != nil {
+			return false
+		}
+		pos := make([]int, g.NumTasks())
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e.Src] >= pos[e.Dst] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBottomLevelPropertyDominatesSuccessors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLayeredGraph(rng, 30)
+		cost := func(id TaskID) float64 { return g.Task(id).Flops }
+		bl := g.BottomLevels(cost)
+		for i := 0; i < g.NumTasks(); i++ {
+			v := TaskID(i)
+			if bl[v] < cost(v) {
+				return false
+			}
+			for _, s := range g.Successors(v) {
+				if bl[v] < bl[s]+cost(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalPathPropertyIsPathAndMatchesBL(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLayeredGraph(rng, 30)
+		cost := func(id TaskID) float64 { return g.Task(id).Flops }
+		path, length := g.CriticalPath(cost)
+		if len(path) == 0 {
+			return false
+		}
+		sum := 0.0
+		for i, v := range path {
+			sum += cost(v)
+			if i > 0 {
+				// consecutive path elements must be connected
+				found := false
+				for _, s := range g.Successors(path[i-1]) {
+					if s == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		eps := 1e-9 * length // relative tolerance: costs are ~1e9
+		return sum <= length+eps && length <= g.CriticalPathLength(cost)+eps &&
+			g.CriticalPathLength(cost) <= length+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrecedenceLevelPropertyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomLayeredGraph(rng, 30)
+		level, byLevel := g.PrecedenceLevels()
+		for _, e := range g.Edges() {
+			if level[e.Src] >= level[e.Dst] {
+				return false
+			}
+		}
+		count := 0
+		for _, l := range byLevel {
+			count += len(l)
+		}
+		return count == g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

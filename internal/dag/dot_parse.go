@@ -1,0 +1,372 @@
+package dag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDOT parses a Graphviz DOT digraph into a PTG. It understands the
+// subset of DOT emitted by Suter's DAGGEN generator (the tool the paper used
+// for its synthetic graphs, reference [24]) and by this package's DOT
+// method:
+//
+//	digraph name {
+//	  1 [size="1.5e9", alpha="0.12"]      // a task: cost attributes
+//	  1 -> 2 [size="8388608"]             // a dependency (edge attrs ignored)
+//	}
+//
+// Node attribute "size" is the task's computation cost in FLOP and "alpha"
+// its non-parallelizable fraction; both default to 0 when absent (as for
+// structural nodes in plain Graphviz files). "label"/"data" attributes are
+// honored for the task name and dataset size. Edge attributes (communication
+// volumes) are ignored: the paper's platform model does not charge
+// communication, which must instead be folded into the execution-time model
+// (Section III).
+//
+// Supported syntax: line ('//', '#') and block comments, quoted and bare
+// identifiers, attribute lists in brackets with ',' or ';' or space
+// separators, chained edges (a -> b -> c), and 'node'/'edge'/'graph' default
+// statements (skipped). Subgraphs are not supported.
+func ReadDOT(r io.Reader) (*Graph, error) {
+	toks, err := tokenizeDOT(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &dotParser{toks: toks}
+	return p.parse()
+}
+
+// tokenizeDOT splits DOT input into tokens: identifiers/quoted strings and
+// the punctuation {}[]=,;. The arrow "->" is one token.
+func tokenizeDOT(r io.Reader) ([]string, error) {
+	br := bufio.NewReader(r)
+	var toks []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for {
+		c, _, err := br.ReadRune()
+		if err == io.EOF {
+			flush()
+			return toks, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dag: reading DOT: %w", err)
+		}
+		switch {
+		case c == '"':
+			flush()
+			var quoted strings.Builder
+			for {
+				q, _, err := br.ReadRune()
+				if err != nil {
+					return nil, fmt.Errorf("dag: unterminated string in DOT")
+				}
+				if q == '\\' {
+					esc, _, err := br.ReadRune()
+					if err != nil {
+						return nil, fmt.Errorf("dag: unterminated escape in DOT")
+					}
+					quoted.WriteRune(esc)
+					continue
+				}
+				if q == '"' {
+					break
+				}
+				quoted.WriteRune(q)
+			}
+			// Mark quoted tokens so empty strings survive.
+			toks = append(toks, "\x00"+quoted.String())
+		case c == '/':
+			next, _, err := br.ReadRune()
+			if err != nil {
+				return nil, fmt.Errorf("dag: stray '/' at end of DOT input")
+			}
+			switch next {
+			case '/':
+				flush()
+				if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+					return nil, err
+				}
+			case '*':
+				flush()
+				prev := rune(0)
+				for {
+					cc, _, err := br.ReadRune()
+					if err != nil {
+						return nil, fmt.Errorf("dag: unterminated block comment in DOT")
+					}
+					if prev == '*' && cc == '/' {
+						break
+					}
+					prev = cc
+				}
+			default:
+				return nil, fmt.Errorf("dag: unexpected '/%c' in DOT", next)
+			}
+		case c == '#':
+			flush()
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return nil, err
+			}
+		case c == '-':
+			// Arrow or part of a bare number like -1 (numbers in DOT bare
+			// identifiers may include '-' only at the start; daggen never
+			// emits them, so treat '-' as arrow start only when followed by
+			// '>').
+			next, _, err := br.ReadRune()
+			if err == nil && next == '>' {
+				flush()
+				toks = append(toks, "->")
+				continue
+			}
+			if err == nil {
+				if err := br.UnreadRune(); err != nil {
+					return nil, err
+				}
+			}
+			cur.WriteRune(c)
+		case strings.ContainsRune("{}[]=,;", c):
+			flush()
+			toks = append(toks, string(c))
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+}
+
+type dotParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *dotParser) peek() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *dotParser) next() (string, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *dotParser) expect(want string) error {
+	t, ok := p.next()
+	if !ok || t != want {
+		return fmt.Errorf("dag: DOT parse error: want %q, got %q", want, t)
+	}
+	return nil
+}
+
+// unquote strips the quoted-token marker.
+func unquote(t string) string { return strings.TrimPrefix(t, "\x00") }
+
+func isPunct(t string) bool {
+	switch t {
+	case "{", "}", "[", "]", "=", ",", ";", "->":
+		return true
+	}
+	return false
+}
+
+func (p *dotParser) parse() (*Graph, error) {
+	t, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("dag: empty DOT input")
+	}
+	if strings.EqualFold(unquote(t), "strict") {
+		t, ok = p.next()
+		if !ok {
+			return nil, fmt.Errorf("dag: truncated DOT input")
+		}
+	}
+	if !strings.EqualFold(unquote(t), "digraph") {
+		return nil, fmt.Errorf("dag: DOT input is not a digraph (got %q)", unquote(t))
+	}
+	name := ""
+	t, ok = p.next()
+	if !ok {
+		return nil, fmt.Errorf("dag: truncated DOT input")
+	}
+	if t != "{" {
+		name = unquote(t)
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+	}
+
+	type nodeInfo struct {
+		id    TaskID
+		attrs map[string]string
+	}
+	nodes := map[string]*nodeInfo{}
+	var order []string
+	type edgeInfo struct{ src, dst string }
+	var edges []edgeInfo
+
+	declare := func(nodeName string) *nodeInfo {
+		if n, ok := nodes[nodeName]; ok {
+			return n
+		}
+		n := &nodeInfo{id: TaskID(len(order)), attrs: map[string]string{}}
+		nodes[nodeName] = n
+		order = append(order, nodeName)
+		return n
+	}
+
+	for {
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("dag: DOT input missing closing '}'")
+		}
+		if t == "}" {
+			break
+		}
+		if t == ";" {
+			continue
+		}
+		raw := unquote(t)
+		if isPunct(t) {
+			return nil, fmt.Errorf("dag: unexpected %q in DOT body", t)
+		}
+		// Defaults statements: skip "graph/node/edge [..]".
+		if low := strings.ToLower(raw); low == "graph" || low == "node" || low == "edge" {
+			if nxt, ok := p.peek(); ok && nxt == "[" {
+				if _, err := p.parseAttrs(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if strings.EqualFold(raw, "subgraph") {
+			return nil, fmt.Errorf("dag: DOT subgraphs are not supported")
+		}
+		// Bare graph attribute: "key = value" at statement level (e.g. the
+		// "rankdir=TB;" this package's own DOT writer emits). Skipped.
+		if nxt, ok := p.peek(); ok && nxt == "=" {
+			p.pos++
+			if val, ok := p.next(); !ok || (isPunct(val) && val != "->") {
+				return nil, fmt.Errorf("dag: missing value for graph attribute %q", raw)
+			}
+			continue
+		}
+
+		// Node or edge chain starting at raw.
+		cur := raw
+		declared := declare(cur)
+		chained := false
+		for {
+			nxt, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("dag: DOT input missing closing '}'")
+			}
+			if nxt == "->" {
+				p.pos++
+				dstTok, ok := p.next()
+				if !ok || isPunct(dstTok) {
+					return nil, fmt.Errorf("dag: dangling '->' in DOT")
+				}
+				dst := unquote(dstTok)
+				declare(dst)
+				edges = append(edges, edgeInfo{cur, dst})
+				cur = dst
+				chained = true
+				continue
+			}
+			if nxt == "[" {
+				attrs, err := p.parseAttrs()
+				if err != nil {
+					return nil, err
+				}
+				if !chained {
+					for k, v := range attrs {
+						declared.attrs[k] = v
+					}
+				}
+				// Edge attributes (communication volumes) are ignored.
+			}
+			break
+		}
+	}
+
+	b := NewBuilder(name)
+	for _, nodeName := range order {
+		n := nodes[nodeName]
+		task := Task{Name: nodeName}
+		if label, ok := n.attrs["label"]; ok {
+			task.Name = label
+		}
+		if v, ok := n.attrs["size"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dag: node %s has bad size %q: %w", nodeName, v, err)
+			}
+			task.Flops = f
+		}
+		if v, ok := n.attrs["alpha"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dag: node %s has bad alpha %q: %w", nodeName, v, err)
+			}
+			task.Alpha = f
+		}
+		if v, ok := n.attrs["data"]; ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dag: node %s has bad data %q: %w", nodeName, v, err)
+			}
+			task.Data = f
+		}
+		b.AddTask(task)
+	}
+	for _, e := range edges {
+		b.AddEdge(nodes[e.src].id, nodes[e.dst].id)
+	}
+	return b.Build()
+}
+
+// parseAttrs consumes "[ key = value (,|;)? ... ]" and returns the map.
+func (p *dotParser) parseAttrs() (map[string]string, error) {
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	attrs := map[string]string{}
+	for {
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("dag: unterminated attribute list in DOT")
+		}
+		if t == "]" {
+			return attrs, nil
+		}
+		if t == "," || t == ";" {
+			continue
+		}
+		key := strings.ToLower(unquote(t))
+		if isPunct(t) {
+			return nil, fmt.Errorf("dag: unexpected %q in DOT attribute list", t)
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, ok := p.next()
+		if !ok || (isPunct(val) && val != "->") {
+			return nil, fmt.Errorf("dag: missing value for DOT attribute %q", key)
+		}
+		attrs[key] = unquote(val)
+	}
+}

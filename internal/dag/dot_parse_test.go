@@ -1,0 +1,131 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadDOTDaggenStyle(t *testing.T) {
+	src := `digraph G {
+  // a daggen-style graph
+  1 [size="1.5e9", alpha="0.12"]
+  2 [size="2e9", alpha="0.05"]
+  3 [size="3e9", alpha="0.2"]
+  1 -> 2 [size="8388608"]
+  1 -> 3 [size="8388608"]
+  2 -> 3
+}`
+	g, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("%d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	if g.Task(0).Flops != 1.5e9 || g.Task(0).Alpha != 0.12 {
+		t.Fatalf("task 0: %+v", g.Task(0))
+	}
+	if g.Task(2).Alpha != 0.2 {
+		t.Fatalf("task 2: %+v", g.Task(2))
+	}
+	if got := g.Successors(0); len(got) != 2 {
+		t.Fatalf("succ(0) = %v", got)
+	}
+}
+
+func TestReadDOTChainedEdges(t *testing.T) {
+	src := `digraph { a -> b -> c; b -> d }`
+	g, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("%d tasks, %d edges", g.NumTasks(), g.NumEdges())
+	}
+	// Insertion order: a=0, b=1, c=2, d=3.
+	if g.Task(0).Name != "a" || g.Task(3).Name != "d" {
+		t.Fatalf("names: %v, %v", g.Task(0).Name, g.Task(3).Name)
+	}
+}
+
+func TestReadDOTCommentsAndDefaults(t *testing.T) {
+	src := `strict digraph "my graph" {
+  graph [rankdir=TB]
+  node [shape=box]
+  edge [color=red]
+  /* block
+     comment */
+  # hash comment
+  n1 [size=1e9, label="compute"]
+  n2 [size=2e9]
+  n1 -> n2
+}`
+	g, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "my graph" {
+		t.Fatalf("name %q", g.Name())
+	}
+	if g.Task(0).Name != "compute" {
+		t.Fatalf("label not honored: %q", g.Task(0).Name)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("%d edges", g.NumEdges())
+	}
+}
+
+func TestReadDOTRoundTripWithDOTWriter(t *testing.T) {
+	b := NewBuilder("rt")
+	b.AddTask(Task{Name: "a", Flops: 1e9})
+	b.AddTask(Task{Name: "b", Flops: 2e9})
+	b.AddEdge(0, 1)
+	g := b.MustBuild()
+	g2, err := ReadDOT(strings.NewReader(g.DOT()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != 2 || g2.NumEdges() != 1 {
+		t.Fatalf("round trip: %d tasks, %d edges", g2.NumTasks(), g2.NumEdges())
+	}
+}
+
+func TestReadDOTErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              ``,
+		"not a digraph":      `graph { a -- b }`,
+		"missing brace":      `digraph { a -> b`,
+		"dangling arrow":     `digraph { a -> }`,
+		"unterminated quote": `digraph { a [label="x] }`,
+		"bad size":           `digraph { a [size="lots"] }`,
+		"bad alpha":          `digraph { a [alpha="x"] }`,
+		"bad data":           `digraph { a [data="x"] }`,
+		"cycle":              `digraph { a -> b b -> a }`,
+		"subgraph":           `digraph { subgraph x { a } }`,
+		"unterminated attrs": `digraph { a [size=1 }`,
+		"attr without value": `digraph { a [size=] }`,
+		"unterminated block": `digraph { /* comment }`,
+	}
+	for name, src := range cases {
+		if _, err := ReadDOT(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadDOTSelfLoopRejected(t *testing.T) {
+	if _, err := ReadDOT(strings.NewReader(`digraph { a -> a }`)); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestReadDOTQuotedNumericIDs(t *testing.T) {
+	src := `digraph { "0" [size="5"] "1" [size="6"] "0" -> "1" }`
+	g, err := ReadDOT(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(0).Flops != 5 || g.Task(1).Flops != 6 {
+		t.Fatalf("tasks: %+v", g.Tasks())
+	}
+}

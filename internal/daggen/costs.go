@@ -1,0 +1,149 @@
+// Package daggen generates the parallel task graphs of Section IV-C of the
+// paper: FFT graphs, Strassen matrix-multiplication graphs, and DAGGEN-style
+// random graphs (layered and irregular), together with the randomized
+// task-complexity assignment shared by all of them.
+//
+// All generators are deterministic functions of their explicit seed, so
+// experiment instances are reproducible and can be shared across algorithms
+// — the paper relies on this ("the random generator uses the same (random)
+// seed for all experiments").
+package daggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"emts/internal/dag"
+)
+
+// CostConfig describes the task-complexity assignment of Section IV-C: each
+// task operates on a dataset of d doubles; the number of FLOP follows one of
+// three computational patterns
+//
+//	(1) a·d          (stencil computation)
+//	(2) a·d·log₂ d   (sorting an array)
+//	(3) d^(3/2)      (multiplication of √d × √d matrices)
+//
+// with the iteration factor a drawn uniformly from [2⁶, 2⁹] and the fraction
+// of non-parallelizable code α drawn uniformly from [0, 0.25] ("very scalable
+// tasks").
+type CostConfig struct {
+	// MinData and MaxData bound the dataset size in doubles. The paper fixes
+	// MaxData = 125e6 (1 GB of 8-byte doubles per processor); the lower
+	// bound is unspecified and defaults to 4e6 so no task is negligible.
+	MinData, MaxData float64
+	// MinIter and MaxIter bound the iteration factor a (paper: 2⁶ .. 2⁹).
+	MinIter, MaxIter float64
+	// MaxAlpha bounds the non-parallelizable fraction (paper: 0.25).
+	MaxAlpha float64
+	// SimilarPerLevel makes all tasks of one precedence level share the same
+	// pattern and dataset size (with ±10% jitter), matching the paper's
+	// layered PTGs where "the number of operations of tasks in one layer is
+	// similar".
+	SimilarPerLevel bool
+}
+
+// DefaultCosts returns the paper's cost parameters.
+func DefaultCosts() CostConfig {
+	return CostConfig{
+		MinData:  4e6,
+		MaxData:  125e6,
+		MinIter:  64,  // 2^6
+		MaxIter:  512, // 2^9
+		MaxAlpha: 0.25,
+	}
+}
+
+// Validate reports configuration errors.
+func (c CostConfig) Validate() error {
+	if c.MinData <= 0 || c.MaxData < c.MinData {
+		return fmt.Errorf("daggen: data bounds [%g, %g] invalid", c.MinData, c.MaxData)
+	}
+	if c.MinIter <= 0 || c.MaxIter < c.MinIter {
+		return fmt.Errorf("daggen: iteration bounds [%g, %g] invalid", c.MinIter, c.MaxIter)
+	}
+	if c.MaxAlpha < 0 || c.MaxAlpha > 1 {
+		return fmt.Errorf("daggen: max alpha %g outside [0,1]", c.MaxAlpha)
+	}
+	return nil
+}
+
+// pattern identifies one of the three computational patterns.
+type pattern int
+
+const (
+	patternStencil pattern = iota // a·d
+	patternSort                   // a·d·log2(d)
+	patternMatMul                 // d^(3/2)
+)
+
+// flops evaluates the pattern for dataset size d and iteration factor a.
+func (p pattern) flops(d, a float64) float64 {
+	switch p {
+	case patternStencil:
+		return a * d
+	case patternSort:
+		return a * d * math.Log2(d)
+	default:
+		return math.Pow(d, 1.5)
+	}
+}
+
+// sample draws one task complexity.
+func (c CostConfig) sample(rng *rand.Rand) (flops, alpha, data float64) {
+	p := pattern(rng.Intn(3))
+	data = c.MinData + rng.Float64()*(c.MaxData-c.MinData)
+	a := c.MinIter + rng.Float64()*(c.MaxIter-c.MinIter)
+	return p.flops(data, a), rng.Float64() * c.MaxAlpha, data
+}
+
+// assignCosts fills in Flops, Alpha, and Data for every task of a shape-only
+// graph. When SimilarPerLevel is set, tasks of one precedence level share a
+// pattern and base dataset size with ±10% jitter.
+func assignCosts(shape *dag.Graph, c CostConfig, rng *rand.Rand) (*dag.Graph, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := dag.NewBuilder(shape.Name())
+	if !c.SimilarPerLevel {
+		for _, t := range shape.Tasks() {
+			t.Flops, t.Alpha, t.Data = c.sample(rng)
+			b.AddTask(t)
+		}
+	} else {
+		level, byLevel := shape.PrecedenceLevels()
+		type levelCost struct {
+			p    pattern
+			data float64
+			a    float64
+		}
+		costs := make([]levelCost, len(byLevel))
+		for l := range byLevel {
+			costs[l] = levelCost{
+				p:    pattern(rng.Intn(3)),
+				data: c.MinData + rng.Float64()*(c.MaxData-c.MinData),
+				a:    c.MinIter + rng.Float64()*(c.MaxIter-c.MinIter),
+			}
+		}
+		for _, t := range shape.Tasks() {
+			lc := costs[level[t.ID]]
+			jitter := 0.9 + 0.2*rng.Float64()
+			d := lc.data * jitter
+			if d > c.MaxData {
+				d = c.MaxData
+			}
+			if d < c.MinData {
+				d = c.MinData
+			}
+			t.Flops = lc.p.flops(d, lc.a)
+			t.Alpha = rng.Float64() * c.MaxAlpha
+			t.Data = d
+			b.AddTask(t)
+		}
+	}
+	for _, e := range shape.Edges() {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return b.Build()
+}

@@ -1,0 +1,369 @@
+package daggen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emts/internal/dag"
+)
+
+func TestFFTTaskCountsMatchPaper(t *testing.T) {
+	// Section IV-C: "FFT PTGs with 2, 4, 8, and 16 levels, which lead to 5,
+	// 15, 39, or 95 tasks respectively."
+	want := map[int]int{2: 5, 4: 15, 8: 39, 16: 95}
+	for points, tasks := range want {
+		if got := FFTTaskCount(points); got != tasks {
+			t.Errorf("FFTTaskCount(%d) = %d, want %d", points, got, tasks)
+		}
+		g, err := FFT(points, DefaultCosts(), 1)
+		if err != nil {
+			t.Fatalf("FFT(%d): %v", points, err)
+		}
+		if g.NumTasks() != tasks {
+			t.Errorf("FFT(%d) has %d tasks, want %d", points, g.NumTasks(), tasks)
+		}
+	}
+}
+
+func TestFFTShape(t *testing.T) {
+	g, err := FFT(8, DefaultCosts(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single source (the root call task), 8 sinks (last butterfly row).
+	if n := len(g.Sources()); n != 1 {
+		t.Fatalf("%d sources, want 1", n)
+	}
+	if n := len(g.Sinks()); n != 8 {
+		t.Fatalf("%d sinks, want 8", n)
+	}
+	// Depth: log2(8)+1 tree levels + log2(8) butterfly levels = 7.
+	if d := g.Depth(); d != 7 {
+		t.Fatalf("depth %d, want 7", d)
+	}
+	// Max width is the butterfly width n = 8.
+	if w := g.MaxWidth(); w != 8 {
+		t.Fatalf("max width %d, want 8", w)
+	}
+	// Butterfly tasks have exactly 2 predecessors.
+	for _, task := range g.Tasks() {
+		if len(task.Name) > 9 && task.Name[:9] == "butterfly" {
+			if n := len(g.Predecessors(task.ID)); n != 2 {
+				t.Fatalf("butterfly task %s has %d preds", task.Name, n)
+			}
+		}
+	}
+}
+
+func TestFFTRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100} {
+		if _, err := FFT(n, DefaultCosts(), 1); err == nil {
+			t.Errorf("FFT(%d) accepted", n)
+		}
+	}
+}
+
+func TestFFTSameSeedSameGraph(t *testing.T) {
+	g1, _ := FFT(8, DefaultCosts(), 5)
+	g2, _ := FFT(8, DefaultCosts(), 5)
+	for i := 0; i < g1.NumTasks(); i++ {
+		if g1.Task(dag.TaskID(i)).Flops != g2.Task(dag.TaskID(i)).Flops {
+			t.Fatal("same seed produced different costs")
+		}
+	}
+	g3, _ := FFT(8, DefaultCosts(), 6)
+	same := true
+	for i := 0; i < g1.NumTasks(); i++ {
+		if g1.Task(dag.TaskID(i)).Flops != g3.Task(dag.TaskID(i)).Flops {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical costs")
+	}
+}
+
+func TestStrassenShape(t *testing.T) {
+	g, err := Strassen(DefaultCosts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != StrassenTaskCount {
+		t.Fatalf("%d tasks, want %d", g.NumTasks(), StrassenTaskCount)
+	}
+	if n := len(g.Sources()); n != 1 {
+		t.Fatalf("%d sources, want 1 (split)", n)
+	}
+	if n := len(g.Sinks()); n != 1 {
+		t.Fatalf("%d sinks, want 1 (merge)", n)
+	}
+	// Layers: split / S / P / C / merge -> depth 5.
+	if d := g.Depth(); d != 5 {
+		t.Fatalf("depth %d, want 5", d)
+	}
+	_, byLevel := g.PrecedenceLevels()
+	if len(byLevel[1]) != 10 {
+		t.Fatalf("S layer has %d tasks, want 10", len(byLevel[1]))
+	}
+	if len(byLevel[2]) != 7 {
+		t.Fatalf("P layer has %d tasks, want 7", len(byLevel[2]))
+	}
+	if len(byLevel[3]) != 4 {
+		t.Fatalf("C layer has %d tasks, want 4", len(byLevel[3]))
+	}
+}
+
+func TestStrassenProductDependencies(t *testing.T) {
+	g, err := Strassen(DefaultCosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]dag.TaskID{}
+	for _, task := range g.Tasks() {
+		byName[task.Name] = task.ID
+	}
+	// C11 = P5 + P4 - P2 + P6: four predecessors.
+	if n := len(g.Predecessors(byName["C11"])); n != 4 {
+		t.Fatalf("C11 has %d preds, want 4", n)
+	}
+	// C12 = P1 + P2: two predecessors.
+	if n := len(g.Predecessors(byName["C12"])); n != 2 {
+		t.Fatalf("C12 has %d preds, want 2", n)
+	}
+	// P5 = S5·S6: exactly S5 and S6.
+	preds := g.Predecessors(byName["P5"])
+	if len(preds) != 2 {
+		t.Fatalf("P5 has %d preds", len(preds))
+	}
+	seen := map[dag.TaskID]bool{byName["S5"]: false, byName["S6"]: false}
+	for _, p := range preds {
+		if _, ok := seen[p]; !ok {
+			t.Fatalf("P5 depends on unexpected task %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCostConfigValidation(t *testing.T) {
+	bad := []CostConfig{
+		{MinData: 0, MaxData: 1, MinIter: 1, MaxIter: 2, MaxAlpha: 0.2},
+		{MinData: 2, MaxData: 1, MinIter: 1, MaxIter: 2, MaxAlpha: 0.2},
+		{MinData: 1, MaxData: 2, MinIter: 0, MaxIter: 2, MaxAlpha: 0.2},
+		{MinData: 1, MaxData: 2, MinIter: 3, MaxIter: 2, MaxAlpha: 0.2},
+		{MinData: 1, MaxData: 2, MinIter: 1, MaxIter: 2, MaxAlpha: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if err := DefaultCosts().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostRangesRespected(t *testing.T) {
+	cfg := DefaultCosts()
+	g, err := FFT(16, cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFlops := cfg.MaxIter * cfg.MaxData * math.Log2(cfg.MaxData) // sort pattern bound
+	if m := math.Pow(cfg.MaxData, 1.5); m > maxFlops {
+		maxFlops = m
+	}
+	for _, task := range g.Tasks() {
+		if task.Alpha < 0 || task.Alpha > cfg.MaxAlpha {
+			t.Fatalf("alpha %g outside [0, %g]", task.Alpha, cfg.MaxAlpha)
+		}
+		if task.Data < cfg.MinData || task.Data > cfg.MaxData {
+			t.Fatalf("data %g outside bounds", task.Data)
+		}
+		if task.Flops <= 0 || task.Flops > maxFlops {
+			t.Fatalf("flops %g outside (0, %g]", task.Flops, maxFlops)
+		}
+	}
+}
+
+func TestRandomConfigValidation(t *testing.T) {
+	ok := RandomConfig{N: 20, Width: 0.5, Regularity: 0.8, Density: 0.2, Jump: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RandomConfig{
+		{N: 0, Width: 0.5, Regularity: 0.5, Density: 0.5},
+		{N: 10, Width: 0, Regularity: 0.5, Density: 0.5},
+		{N: 10, Width: 1.5, Regularity: 0.5, Density: 0.5},
+		{N: 10, Width: 0.5, Regularity: -1, Density: 0.5},
+		{N: 10, Width: 0.5, Regularity: 0.5, Density: 0},
+		{N: 10, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRandomGeneratesRequestedTaskCount(t *testing.T) {
+	for _, n := range []int{20, 50, 100} {
+		for _, w := range []float64{0.2, 0.5, 0.8} {
+			cfg := RandomConfig{N: n, Width: w, Regularity: 0.8, Density: 0.2}
+			g, err := Random(cfg, DefaultCosts(), 11)
+			if err != nil {
+				t.Fatalf("Random(%+v): %v", cfg, err)
+			}
+			if g.NumTasks() != n {
+				t.Fatalf("got %d tasks, want %d", g.NumTasks(), n)
+			}
+		}
+	}
+}
+
+func TestRandomLayeredHasAdjacentEdgesOnly(t *testing.T) {
+	cfg := RandomConfig{N: 100, Width: 0.5, Regularity: 0.8, Density: 0.8, Jump: 0}
+	g, err := Random(cfg, DefaultCosts(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level, _ := g.PrecedenceLevels()
+	for _, e := range g.Edges() {
+		if level[e.Dst]-level[e.Src] != 1 {
+			t.Fatalf("layered PTG has edge spanning %d levels", level[e.Dst]-level[e.Src])
+		}
+	}
+}
+
+func TestRandomLayeredSimilarCostsPerLevel(t *testing.T) {
+	cfg := RandomConfig{N: 100, Width: 0.8, Regularity: 0.8, Density: 0.5, Jump: 0}
+	g, err := Random(cfg, DefaultCosts(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, byLevel := g.PrecedenceLevels()
+	for l, tasks := range byLevel {
+		if len(tasks) < 2 {
+			continue
+		}
+		min, max := math.Inf(1), 0.0
+		for _, v := range tasks {
+			f := g.Task(v).Flops
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		// ±10% jitter around a shared base: worst case is the d^(3/2)
+		// pattern with max/min <= (1.1/0.9)^1.5 ≈ 1.35.
+		if max/min > 1.4 {
+			t.Fatalf("level %d flops spread %g, want similar per-level costs", l, max/min)
+		}
+	}
+}
+
+func TestRandomIrregularSpansLevels(t *testing.T) {
+	// With jump=4 and low regularity, some edge should span > 1 level. Try a
+	// few seeds: the property is probabilistic per instance but near-certain
+	// across seeds.
+	cfg := RandomConfig{N: 100, Width: 0.5, Regularity: 0.2, Density: 0.8, Jump: 4}
+	for seed := int64(0); seed < 10; seed++ {
+		g, err := Random(cfg, DefaultCosts(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		level, _ := g.PrecedenceLevels()
+		for _, e := range g.Edges() {
+			if level[e.Dst]-level[e.Src] > 1 {
+				return // found a spanning edge
+			}
+		}
+	}
+	t.Fatal("no spanning edge in 10 seeds with jump=4")
+}
+
+func TestRandomWidthShapesParallelism(t *testing.T) {
+	narrowCfg := RandomConfig{N: 100, Width: 0.2, Regularity: 0.8, Density: 0.2}
+	wideCfg := RandomConfig{N: 100, Width: 0.8, Regularity: 0.8, Density: 0.2}
+	narrow, err := Random(narrowCfg, DefaultCosts(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Random(wideCfg, DefaultCosts(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.MaxWidth() >= wide.MaxWidth() {
+		t.Fatalf("narrow width %d >= wide width %d", narrow.MaxWidth(), wide.MaxWidth())
+	}
+	if narrow.Depth() <= wide.Depth() {
+		t.Fatalf("narrow depth %d <= wide depth %d", narrow.Depth(), wide.Depth())
+	}
+}
+
+func TestRandomDensityShapesEdges(t *testing.T) {
+	sparseCfg := RandomConfig{N: 100, Width: 0.5, Regularity: 0.8, Density: 0.2}
+	denseCfg := RandomConfig{N: 100, Width: 0.5, Regularity: 0.8, Density: 0.8}
+	totalSparse, totalDense := 0, 0
+	for seed := int64(0); seed < 5; seed++ {
+		s, err := Random(sparseCfg, DefaultCosts(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Random(denseCfg, DefaultCosts(), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSparse += s.NumEdges()
+		totalDense += d.NumEdges()
+	}
+	if totalSparse >= totalDense {
+		t.Fatalf("sparse edges %d >= dense edges %d", totalSparse, totalDense)
+	}
+}
+
+func TestRandomEveryNonSourceHasParent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := RandomConfig{
+			N:          5 + rng.Intn(100),
+			Width:      0.2 + 0.6*rng.Float64(),
+			Regularity: rng.Float64(),
+			Density:    0.2 + 0.6*rng.Float64(),
+			Jump:       rng.Intn(5),
+		}
+		g, err := Random(cfg, DefaultCosts(), seed)
+		if err != nil {
+			return false
+		}
+		if g.NumTasks() != cfg.N {
+			return false
+		}
+		// Every task beyond generator level 0 has >= 1 predecessor; i.e. the
+		// number of sources is at most the first level's size, which is at
+		// most ceil(nominal*(2-reg)).
+		nominal := math.Round(math.Pow(float64(cfg.N), cfg.Width))
+		maxFirst := int(math.Ceil(nominal * (2 - cfg.Regularity)))
+		if maxFirst < 1 {
+			maxFirst = 1
+		}
+		return len(g.Sources()) <= maxFirst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperWorkloadCounts(t *testing.T) {
+	// The paper's synthetic workload: width={0.2,0.5,0.8}, regularity={0.2,0.8},
+	// density={0.2,0.8}, jump={0} layered and {1,2,4} irregular, n={20,50,100}.
+	widths, regs, dens, sizes, jumps, seeds := 3, 2, 2, 3, 3, 3
+	layered := widths * regs * dens * sizes * seeds
+	irregular := layered * jumps
+	if layered != 108 || irregular != 324 {
+		t.Fatalf("combo count mismatch: %d layered, %d irregular", layered, irregular)
+	}
+}

@@ -1,0 +1,78 @@
+package daggen
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"emts/internal/dag"
+)
+
+// FFT generates the parallel task graph of the Fast Fourier Transform for the
+// given number of input points (a power of two), then assigns random task
+// complexities per cost.
+//
+// The shape is the classical FFT task graph (Cormen et al.; also used by
+// Topcuoglu et al. for HEFT): a binary tree of 2n−1 recursive-call tasks
+// followed by log₂n layers of n butterfly tasks each, for (2n−1) + n·log₂n
+// tasks in total. The paper's "FFT PTGs with 2, 4, 8, and 16 levels, which
+// lead to 5, 15, 39, or 95 tasks respectively" matches exactly this count
+// with n = 2, 4, 8, 16 input points.
+func FFT(points int, cost CostConfig, seed int64) (*dag.Graph, error) {
+	if points < 2 || points&(points-1) != 0 {
+		return nil, fmt.Errorf("daggen: FFT size %d, want a power of two >= 2", points)
+	}
+	shape, err := fftShape(points)
+	if err != nil {
+		return nil, err
+	}
+	return assignCosts(shape, cost, rand.New(rand.NewSource(seed)))
+}
+
+// FFTTaskCount returns the number of tasks of the FFT PTG for the given
+// number of input points: (2n−1) + n·log₂n.
+func FFTTaskCount(points int) int {
+	return 2*points - 1 + points*bits.TrailingZeros(uint(points))
+}
+
+func fftShape(n int) (*dag.Graph, error) {
+	b := dag.NewBuilder(fmt.Sprintf("fft-%d", n))
+	logN := bits.TrailingZeros(uint(n))
+
+	// Recursive-call tree: a complete binary tree with levels 0..logN, level
+	// d holding 2^d tasks. treeID(d, i) is the task for subproblem i at
+	// recursion depth d.
+	tree := make([][]dag.TaskID, logN+1)
+	for d := 0; d <= logN; d++ {
+		tree[d] = make([]dag.TaskID, 1<<d)
+		for i := range tree[d] {
+			tree[d][i] = b.AddTask(dag.Task{Name: fmt.Sprintf("call-%d-%d", d, i)})
+		}
+	}
+	for d := 0; d < logN; d++ {
+		for i, parent := range tree[d] {
+			b.AddEdge(parent, tree[d+1][2*i])
+			b.AddEdge(parent, tree[d+1][2*i+1])
+		}
+	}
+
+	// Butterfly layers: logN levels of n tasks. bf(l, i) at level l (1-based)
+	// depends on level l−1 tasks i and i XOR 2^(l−1); level 0 is the row of
+	// tree leaves.
+	prev := make([]dag.TaskID, n)
+	// The leaves of the call tree are 2^logN = n tasks in order.
+	copy(prev, tree[logN])
+	for l := 1; l <= logN; l++ {
+		cur := make([]dag.TaskID, n)
+		for i := 0; i < n; i++ {
+			cur[i] = b.AddTask(dag.Task{Name: fmt.Sprintf("butterfly-%d-%d", l, i)})
+		}
+		stride := 1 << (l - 1)
+		for i := 0; i < n; i++ {
+			b.AddEdge(prev[i], cur[i])
+			b.AddEdge(prev[i^stride], cur[i])
+		}
+		prev = cur
+	}
+	return b.Build()
+}

@@ -1,0 +1,155 @@
+package daggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"emts/internal/dag"
+)
+
+// RandomConfig describes a DAGGEN-style synthetic PTG (Section IV-C; see the
+// DAGGEN program of Suter et al.). Four parameters define the shape:
+//
+//   - Width defines the maximum task parallelism: a level holds about
+//     N^Width tasks, so a small value leads to a chain of tasks and large
+//     values to fork-join graphs. The paper uses {0.2, 0.5, 0.8}.
+//   - Regularity denotes the uniformity of the number of tasks per level:
+//     at 1 every level has exactly the nominal width, at 0 level sizes vary
+//     between 1 and twice the nominal width. The paper uses {0.2, 0.8}.
+//   - Density changes the number of edges between two levels of the PTG:
+//     each task draws between 1 and max(1, Density·width) parents.
+//     The paper uses {0.2, 0.8}.
+//   - Jump controls whether edges can span several precedence levels: a
+//     task's parents come from the Jump+1 levels above it. Jump = 0 yields
+//     layered PTGs (edges only between adjacent levels, similar per-level
+//     costs); the paper's irregular PTGs use Jump ∈ {1, 2, 4}.
+type RandomConfig struct {
+	// N is the number of data-parallel tasks (paper: 20, 50, 100).
+	N int
+	// Width in ]0, 1] shapes the task parallelism.
+	Width float64
+	// Regularity in [0, 1] shapes the per-level size variation.
+	Regularity float64
+	// Density in ]0, 1] shapes the number of edges.
+	Density float64
+	// Jump >= 0 is the number of levels an edge may additionally span.
+	Jump int
+}
+
+// Validate reports configuration errors.
+func (c RandomConfig) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("daggen: N = %d, want >= 1", c.N)
+	}
+	if c.Width <= 0 || c.Width > 1 {
+		return fmt.Errorf("daggen: width %g outside ]0, 1]", c.Width)
+	}
+	if c.Regularity < 0 || c.Regularity > 1 {
+		return fmt.Errorf("daggen: regularity %g outside [0, 1]", c.Regularity)
+	}
+	if c.Density <= 0 || c.Density > 1 {
+		return fmt.Errorf("daggen: density %g outside ]0, 1]", c.Density)
+	}
+	if c.Jump < 0 {
+		return fmt.Errorf("daggen: jump %d, want >= 0", c.Jump)
+	}
+	return nil
+}
+
+// Layered reports whether the configuration generates layered PTGs
+// (Jump == 0), which also selects the similar-costs-per-level assignment.
+func (c RandomConfig) Layered() bool { return c.Jump == 0 }
+
+// Random generates a synthetic PTG per cfg and assigns task complexities per
+// cost. For layered configurations (Jump == 0) the cost assignment keeps the
+// operation counts of tasks within one level similar, as the paper specifies;
+// irregular PTGs have fully independent task costs.
+func Random(cfg RandomConfig, cost CostConfig, seed int64) (*dag.Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	shape, err := randomShape(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	cost.SimilarPerLevel = cfg.Layered()
+	return assignCosts(shape, cost, rng)
+}
+
+func randomShape(cfg RandomConfig, rng *rand.Rand) (*dag.Graph, error) {
+	kind := "irregular"
+	if cfg.Layered() {
+		kind = "layered"
+	}
+	b := dag.NewBuilder(fmt.Sprintf("%s-n%d-w%g-r%g-d%g-j%d",
+		kind, cfg.N, cfg.Width, cfg.Regularity, cfg.Density, cfg.Jump))
+
+	// Nominal tasks per level: N^Width (DAGGEN's fat parameter semantics).
+	nominal := int(math.Round(math.Pow(float64(cfg.N), cfg.Width)))
+	if nominal < 1 {
+		nominal = 1
+	}
+	if nominal > cfg.N {
+		nominal = cfg.N
+	}
+
+	// Slice the N tasks into levels whose sizes vary around the nominal
+	// width according to regularity: size ∈ [max(1, nominal·reg), nominal·(2−reg)].
+	var levels [][]dag.TaskID
+	remaining := cfg.N
+	for remaining > 0 {
+		lo := int(math.Ceil(float64(nominal) * cfg.Regularity))
+		if lo < 1 {
+			lo = 1
+		}
+		hi := int(math.Floor(float64(nominal) * (2 - cfg.Regularity)))
+		if hi < lo {
+			hi = lo
+		}
+		size := lo
+		if hi > lo {
+			size = lo + rng.Intn(hi-lo+1)
+		}
+		if size > remaining {
+			size = remaining
+		}
+		level := make([]dag.TaskID, size)
+		for i := range level {
+			level[i] = b.AddTask(dag.Task{Name: fmt.Sprintf("t%d-%d", len(levels), i)})
+		}
+		levels = append(levels, level)
+		remaining -= size
+	}
+
+	// Parents: every task below level 0 draws between 1 and
+	// max(1, density·nominal) parents from the Jump+1 preceding levels.
+	maxParents := int(math.Round(cfg.Density * float64(nominal)))
+	if maxParents < 1 {
+		maxParents = 1
+	}
+	for l := 1; l < len(levels); l++ {
+		loLevel := l - 1 - cfg.Jump
+		if loLevel < 0 {
+			loLevel = 0
+		}
+		var candidates []dag.TaskID
+		for k := loLevel; k < l; k++ {
+			candidates = append(candidates, levels[k]...)
+		}
+		for _, v := range levels[l] {
+			np := 1
+			if maxParents > 1 {
+				np = 1 + rng.Intn(maxParents)
+			}
+			if np > len(candidates) {
+				np = len(candidates)
+			}
+			for _, pi := range rng.Perm(len(candidates))[:np] {
+				b.AddEdge(candidates[pi], v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,105 @@
+package daggen
+
+import (
+	"math/rand"
+
+	"emts/internal/dag"
+)
+
+// Strassen generates the parallel task graph of one level of Strassen's
+// matrix multiplication (Section IV-C; see Hall, Rosenberg & Venkataramani
+// for the DAG family), then assigns random task complexities per cost.
+//
+// The shape is the regular, layered 23-task DAG of the algorithm
+// C = A·B with the classical seven products:
+//
+//	split   — partition A and B into quadrants (source)
+//	S1..S10 — the ten pre-addition tasks
+//	          S1=B12−B22  S2=A11+A12  S3=A21+A22  S4=B21−B11  S5=A11+A22
+//	          S6=B11+B22  S7=A12−A22  S8=B21+B22  S9=A11−A21  S10=B11+B12
+//	P1..P7  — the seven recursive products
+//	          P1=A11·S1  P2=S2·B22  P3=S3·B11  P4=A22·S4  P5=S5·S6
+//	          P6=S7·S8   P7=S9·S10
+//	C11..C22 — the four quadrant combinations
+//	          C11=P5+P4−P2+P6  C12=P1+P2  C21=P3+P4  C22=P5+P1−P3−P7
+//	merge   — assemble C (sink)
+//
+// Products that consume a raw quadrant (e.g. P1 needs A11) depend directly on
+// split. Task complexities are drawn per Section IV-C, so two graphs from
+// different seeds share the shape but differ in their cost structure, exactly
+// like the paper's 100 Strassen instances.
+func Strassen(cost CostConfig, seed int64) (*dag.Graph, error) {
+	shape, err := strassenShape()
+	if err != nil {
+		return nil, err
+	}
+	return assignCosts(shape, cost, rand.New(rand.NewSource(seed)))
+}
+
+// StrassenTaskCount is the number of tasks of the Strassen PTG.
+const StrassenTaskCount = 23
+
+func strassenShape() (*dag.Graph, error) {
+	b := dag.NewBuilder("strassen")
+	split := b.AddTask(dag.Task{Name: "split"})
+
+	s := make([]dag.TaskID, 11) // 1-based S1..S10
+	for i := 1; i <= 10; i++ {
+		s[i] = b.AddTask(dag.Task{Name: sName(i)})
+		b.AddEdge(split, s[i])
+	}
+
+	p := make([]dag.TaskID, 8) // 1-based P1..P7
+	for i := 1; i <= 7; i++ {
+		p[i] = b.AddTask(dag.Task{Name: pName(i)})
+	}
+	// Product operand dependencies; raw quadrants come from split.
+	b.AddEdge(split, p[1]) // A11
+	b.AddEdge(s[1], p[1])
+	b.AddEdge(s[2], p[2])
+	b.AddEdge(split, p[2]) // B22
+	b.AddEdge(s[3], p[3])
+	b.AddEdge(split, p[3]) // B11
+	b.AddEdge(split, p[4]) // A22
+	b.AddEdge(s[4], p[4])
+	b.AddEdge(s[5], p[5])
+	b.AddEdge(s[6], p[5])
+	b.AddEdge(s[7], p[6])
+	b.AddEdge(s[8], p[6])
+	b.AddEdge(s[9], p[7])
+	b.AddEdge(s[10], p[7])
+
+	c11 := b.AddTask(dag.Task{Name: "C11"})
+	c12 := b.AddTask(dag.Task{Name: "C12"})
+	c21 := b.AddTask(dag.Task{Name: "C21"})
+	c22 := b.AddTask(dag.Task{Name: "C22"})
+	for _, pi := range []int{5, 4, 2, 6} {
+		b.AddEdge(p[pi], c11)
+	}
+	for _, pi := range []int{1, 2} {
+		b.AddEdge(p[pi], c12)
+	}
+	for _, pi := range []int{3, 4} {
+		b.AddEdge(p[pi], c21)
+	}
+	for _, pi := range []int{5, 1, 3, 7} {
+		b.AddEdge(p[pi], c22)
+	}
+
+	merge := b.AddTask(dag.Task{Name: "merge"})
+	for _, c := range []dag.TaskID{c11, c12, c21, c22} {
+		b.AddEdge(c, merge)
+	}
+	return b.Build()
+}
+
+func sName(i int) string { return "S" + itoa(i) }
+
+func pName(i int) string { return "P" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 10 {
+		return "10"
+	}
+	return string(rune('0' + i))
+}

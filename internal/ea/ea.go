@@ -1,0 +1,504 @@
+// Package ea provides the (μ+λ) evolution-strategy machinery of EMTS
+// (Section III of the paper): the individual encoding, the adaptive
+// mutation-count schedule, the asymmetric mutation operator of Eq. (1),
+// plus-selection, and a deterministic parallel fitness-evaluation loop.
+//
+// The package is deliberately independent of graphs and schedules: an
+// individual is an allocation vector and fitness is whatever the supplied
+// Evaluator computes (for EMTS, the makespan produced by the list-scheduling
+// mapping function). This keeps the evolutionary core reusable and testable
+// in isolation.
+package ea
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"emts/internal/schedule"
+)
+
+// Individual pairs an allocation vector (the encoding of Figure 2: position i
+// holds s(v_i)) with its fitness, the makespan of the mapped schedule.
+// Smaller fitness is better.
+type Individual struct {
+	Alloc   schedule.Allocation
+	Fitness float64
+	// Sigma is the individual's mutation step size when the run uses
+	// self-adaptation (Config.SelfAdaptive); 0 otherwise.
+	Sigma float64
+}
+
+// Clone returns a deep copy of the individual.
+func (ind Individual) Clone() Individual {
+	return Individual{Alloc: ind.Alloc.Clone(), Fitness: ind.Fitness, Sigma: ind.Sigma}
+}
+
+// Evaluator computes the fitness of an allocation. rejectAbove > 0 allows the
+// evaluator to abort early (Section VI's rejection strategy) once it can
+// prove the fitness exceeds the bound; it then returns ErrRejected and the
+// individual is treated as infinitely unfit. Evaluators must be pure
+// functions: they are called concurrently from multiple goroutines.
+type Evaluator func(alloc schedule.Allocation, rejectAbove float64) (float64, error)
+
+// ErrRejected is returned by an Evaluator that aborted due to rejectAbove.
+// It mirrors listsched.ErrRejected without importing the package.
+var ErrRejected = errors.New("ea: individual rejected by fitness bound")
+
+// Mutator derives one offspring allocation change. Implementations mutate
+// exactly the requested number of alleles (or all of them if the vector is
+// shorter) and must keep every allele within [1, procs].
+type Mutator interface {
+	// Name identifies the operator in ablation reports.
+	Name() string
+	// Mutate modifies m distinct alleles of alloc in place.
+	Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int)
+}
+
+// PaperMutator is the mutation operator of Section III-D. The number of
+// processors C added to or removed from an allocation is
+//
+//	C = +(⌊|X₂|⌋ + 1) with probability 1 − A (stretch), X₂ ~ N(0, σ₂)
+//	C = −(⌊|X₁|⌋ + 1) with probability A     (shrink),  X₁ ~ N(0, σ₁)
+//
+// so |C| >= 1 always, small changes are more likely than large ones, and
+// shrinking is less likely than stretching (A = 0.2 in the paper: "the number
+// of processors allocated to a task decreases with a probability of 20%").
+// The result is clamped to [1, procs]. See DESIGN.md item 4.2 for the sign
+// convention relative to the paper's Eq. (1).
+type PaperMutator struct {
+	// A is the shrink probability (paper: 0.2).
+	A float64
+	// Sigma1 is the standard deviation of the shrink magnitude (paper: 5).
+	Sigma1 float64
+	// Sigma2 is the standard deviation of the stretch magnitude (paper: 5).
+	Sigma2 float64
+}
+
+// DefaultPaperMutator returns the operator with the paper's parameters
+// (a = 0.2, σ₁ = σ₂ = 5, as in Figure 3).
+func DefaultPaperMutator() PaperMutator { return PaperMutator{A: 0.2, Sigma1: 5, Sigma2: 5} }
+
+// Name implements Mutator.
+func (PaperMutator) Name() string { return "paper-eq1" }
+
+// Delta samples the allocation adjustment C of Eq. (1).
+func (pm PaperMutator) Delta(rng *rand.Rand) int {
+	if rng.Float64() < pm.A {
+		return -(int(math.Floor(math.Abs(rng.NormFloat64()*pm.Sigma1))) + 1)
+	}
+	return int(math.Floor(math.Abs(rng.NormFloat64()*pm.Sigma2))) + 1
+}
+
+// Mutate implements Mutator: it adjusts m distinct random alleles by Delta,
+// clamping each result into [1, procs].
+func (pm PaperMutator) Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int) {
+	for _, i := range samplePositions(rng, len(alloc), m) {
+		v := alloc[i] + pm.Delta(rng)
+		if v < 1 {
+			v = 1
+		}
+		if v > procs {
+			v = procs
+		}
+		alloc[i] = v
+	}
+}
+
+// UniformMutator resamples each selected allele uniformly from [1, procs].
+// It is the "any uniform distribution could be applied" strawman of Section
+// III-D, kept for the mutation-operator ablation (DESIGN.md experiment A1).
+type UniformMutator struct{}
+
+// Name implements Mutator.
+func (UniformMutator) Name() string { return "uniform" }
+
+// Mutate implements Mutator.
+func (UniformMutator) Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int) {
+	for _, i := range samplePositions(rng, len(alloc), m) {
+		alloc[i] = 1 + rng.Intn(procs)
+	}
+}
+
+// samplePositions draws min(m, n) distinct indices from [0, n) via a partial
+// Fisher-Yates shuffle.
+func samplePositions(rng *rand.Rand, n, m int) []int {
+	if m > n {
+		m = n
+	}
+	if m <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < m; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:m]
+}
+
+// MutationCount implements the adaptive schedule of Section III-C: in
+// generation u of U (0-based), m = (1 − u/U)·fm·V alleles are mutated, so
+// exploration shrinks as the search converges. The count is clamped to at
+// least 1 so every offspring differs from its parent (DESIGN.md item 4.3).
+func MutationCount(u, generations int, fm float64, v int) int {
+	if generations <= 0 {
+		generations = 1
+	}
+	m := int(math.Round((1 - float64(u)/float64(generations)) * fm * float64(v)))
+	if m < 1 {
+		m = 1
+	}
+	if m > v {
+		m = v
+	}
+	return m
+}
+
+// Strategy selects how the next parent generation is formed.
+type Strategy int
+
+const (
+	// Plus is the (μ+λ) strategy of the paper: parents compete with their
+	// offspring, so the best solution is always conserved and the population
+	// never worsens (Section IV, citing Schwefel & Rudolph).
+	Plus Strategy = iota
+	// Comma is the (μ,λ) strategy: parents are discarded and the μ best
+	// offspring survive. Requires Lambda >= Mu. The population may worsen,
+	// which helps escaping local optima at the cost of monotonicity; the
+	// overall best individual is still tracked across generations. Provided
+	// for the strategy comparison the paper lists as future work
+	// (Section VI).
+	Comma
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == Comma {
+		return "comma"
+	}
+	return "plus"
+}
+
+// GenStats summarizes one generation's selection pool for tracing.
+type GenStats struct {
+	// Generation is the 0-based index u.
+	Generation int
+	// Best, Mean, Worst summarize the finite fitness values of the pool the
+	// new parents were selected from.
+	Best, Mean, Worst float64
+	// BestEver is the best fitness seen so far, including earlier
+	// generations.
+	BestEver float64
+	// Rejected counts this generation's rejected offspring.
+	Rejected int
+}
+
+// Config parametrizes one (μ+λ) evolution-strategy run.
+type Config struct {
+	// Mu is the number of parents kept each generation (paper: 5 or 10).
+	Mu int
+	// Lambda is the number of offspring per generation (paper: 25 or 100).
+	Lambda int
+	// Generations is U, the number of evolutionary steps (paper: 5 or 10).
+	Generations int
+	// Fm is the initial fraction of alleles mutated (paper: 0.33).
+	Fm float64
+	// Mutator generates offspring; nil means DefaultPaperMutator.
+	Mutator Mutator
+	// CrossoverProb, when positive, creates offspring by uniform crossover of
+	// two distinct parents with this probability before mutation. The paper
+	// argues for mutation-only (Section III-C); crossover exists for the
+	// ablation study A4.
+	CrossoverProb float64
+	// UseRejection passes the best fitness found so far as rejectAbove to the
+	// Evaluator, enabling the early-abort optimization of Section VI.
+	UseRejection bool
+	// Workers bounds the parallelism of fitness evaluation; 0 means
+	// runtime.GOMAXPROCS(0). 1 forces sequential evaluation.
+	Workers int
+	// Seed drives all stochastic choices; equal seeds give equal runs.
+	Seed int64
+	// Strategy selects plus- (default) or comma-selection.
+	Strategy Strategy
+	// SelfAdaptive enables per-individual mutation step sizes in the style
+	// of contemporary evolution strategies (Schwefel & Rudolph, cited in
+	// Section IV): each offspring inherits its parent's σ, perturbs it
+	// log-normally (τ = 1/√(2V)), and mutates its alleles with the paper's
+	// Eq. (1) operator at σ₁ = σ₂ = σ'. Overrides Mutator.
+	SelfAdaptive bool
+	// InitialSigma is the starting step size for self-adaptation
+	// (default 5, the paper's σ).
+	InitialSigma float64
+	// OnGeneration, when non-nil, receives per-generation statistics after
+	// selection. It is called from the Run goroutine, in order.
+	OnGeneration func(GenStats)
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Mu < 1 {
+		return fmt.Errorf("ea: mu = %d, want >= 1", c.Mu)
+	}
+	if c.Lambda < 1 {
+		return fmt.Errorf("ea: lambda = %d, want >= 1", c.Lambda)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("ea: generations = %d, want >= 1", c.Generations)
+	}
+	if c.Fm <= 0 || c.Fm > 1 {
+		return fmt.Errorf("ea: fm = %g, want in ]0, 1]", c.Fm)
+	}
+	if c.CrossoverProb < 0 || c.CrossoverProb > 1 {
+		return fmt.Errorf("ea: crossover probability %g outside [0,1]", c.CrossoverProb)
+	}
+	if c.Strategy == Comma && c.Lambda < c.Mu {
+		return fmt.Errorf("ea: comma strategy needs lambda (%d) >= mu (%d)", c.Lambda, c.Mu)
+	}
+	return nil
+}
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Best is the fittest individual ever evaluated.
+	Best Individual
+	// History holds the best fitness after initialization (History[0]) and
+	// after each generation; it is non-increasing by plus-selection.
+	History []float64
+	// Evaluations counts Evaluator calls (including rejected ones).
+	Evaluations int
+	// Rejections counts evaluations aborted by the rejection bound.
+	Rejections int
+}
+
+// Run executes the (μ+λ) evolution strategy on allocations of length v for a
+// platform with procs processors, starting from the given seed individuals
+// (already-allocated vectors from heuristics such as MCPA and HCPA,
+// Section III-B). Missing parents are filled with uniform random individuals;
+// surplus seeds compete, and the best μ form the first parent generation.
+//
+// Because the paper uses a plus-strategy, the best solution is conserved: the
+// population never worsens across generations (Section IV, citing Schwefel &
+// Rudolph).
+func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluator) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if v < 1 {
+		return nil, fmt.Errorf("ea: individual length %d, want >= 1", v)
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("ea: procs = %d, want >= 1", procs)
+	}
+	mut := cfg.Mutator
+	if mut == nil {
+		mut = DefaultPaperMutator()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+
+	// Initial pool: seeds (clamped defensively) plus random fill.
+	pool := make([]Individual, 0, max(len(seeds), cfg.Mu))
+	for _, s := range seeds {
+		if len(s) != v {
+			return nil, fmt.Errorf("ea: seed individual has %d alleles, want %d", len(s), v)
+		}
+		pool = append(pool, Individual{Alloc: s.Clone().Clamp(procs)})
+	}
+	for len(pool) < cfg.Mu {
+		a := make(schedule.Allocation, v)
+		for i := range a {
+			a[i] = 1 + rng.Intn(procs)
+		}
+		pool = append(pool, Individual{Alloc: a})
+	}
+	if err := evaluateAll(pool, fitness, 0, cfg.Workers, res); err != nil {
+		return nil, err
+	}
+	parents := selectBest(pool, cfg.Mu)
+	res.Best = parents[0].Clone()
+	res.History = append(res.History, res.Best.Fitness)
+
+	// Self-adaptation bookkeeping.
+	initialSigma := cfg.InitialSigma
+	if initialSigma <= 0 {
+		initialSigma = 5 // the paper's σ
+	}
+	if cfg.SelfAdaptive {
+		for i := range parents {
+			if parents[i].Sigma <= 0 {
+				parents[i].Sigma = initialSigma
+			}
+		}
+	}
+	tau := 1 / math.Sqrt(2*float64(v))
+
+	offspring := make([]Individual, cfg.Lambda)
+	for u := 0; u < cfg.Generations; u++ {
+		m := MutationCount(u, cfg.Generations, cfg.Fm, v)
+		for i := range offspring {
+			parent := parents[rng.Intn(len(parents))]
+			child := parent.Alloc.Clone()
+			if cfg.CrossoverProb > 0 && len(parents) > 1 && rng.Float64() < cfg.CrossoverProb {
+				other := parents[rng.Intn(len(parents))].Alloc
+				uniformCrossover(rng, child, other)
+			}
+			sigma := 0.0
+			if cfg.SelfAdaptive {
+				sigma = parent.Sigma
+				if sigma <= 0 {
+					sigma = initialSigma
+				}
+				sigma *= math.Exp(tau * rng.NormFloat64())
+				if sigma < 0.3 {
+					sigma = 0.3 // keep |C| >= 1 meaningful
+				}
+				if max := float64(procs); sigma > max {
+					sigma = max
+				}
+				PaperMutator{A: 0.2, Sigma1: sigma, Sigma2: sigma}.Mutate(rng, child, m, procs)
+			} else {
+				mut.Mutate(rng, child, m, procs)
+			}
+			offspring[i] = Individual{Alloc: child, Sigma: sigma}
+		}
+		bound := 0.0
+		if cfg.UseRejection {
+			bound = res.Best.Fitness
+		}
+		rejectedBefore := res.Rejections
+		if err := evaluateAll(offspring, fitness, bound, cfg.Workers, res); err != nil {
+			return nil, err
+		}
+		// Selection: plus-strategy pools parents with offspring; the
+		// comma-strategy selects from the offspring alone.
+		pool = pool[:0]
+		if cfg.Strategy == Plus {
+			pool = append(pool, parents...)
+		}
+		pool = append(pool, offspring...)
+		parents = selectBest(pool, cfg.Mu)
+		if parents[0].Fitness < res.Best.Fitness {
+			res.Best = parents[0].Clone()
+		}
+		res.History = append(res.History, res.Best.Fitness)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(poolStats(u, pool, res.Best.Fitness, res.Rejections-rejectedBefore))
+		}
+	}
+	return res, nil
+}
+
+// poolStats summarizes the finite fitness values of a selection pool.
+func poolStats(u int, pool []Individual, bestEver float64, rejected int) GenStats {
+	gs := GenStats{Generation: u, BestEver: bestEver, Rejected: rejected}
+	n := 0
+	sum := 0.0
+	for _, ind := range pool {
+		if math.IsInf(ind.Fitness, 0) {
+			continue
+		}
+		if n == 0 || ind.Fitness < gs.Best {
+			gs.Best = ind.Fitness
+		}
+		if n == 0 || ind.Fitness > gs.Worst {
+			gs.Worst = ind.Fitness
+		}
+		sum += ind.Fitness
+		n++
+	}
+	if n > 0 {
+		gs.Mean = sum / float64(n)
+	}
+	return gs
+}
+
+// uniformCrossover overwrites roughly half of child's alleles with other's.
+func uniformCrossover(rng *rand.Rand, child, other schedule.Allocation) {
+	for i := range child {
+		if rng.Intn(2) == 0 {
+			child[i] = other[i]
+		}
+	}
+}
+
+// selectBest returns the mu fittest individuals of pool (stable order, so
+// earlier individuals win ties — parents persist over equal offspring).
+func selectBest(pool []Individual, mu int) []Individual {
+	sorted := make([]Individual, len(pool))
+	copy(sorted, pool)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Fitness < sorted[j].Fitness })
+	if mu > len(sorted) {
+		mu = len(sorted)
+	}
+	out := make([]Individual, mu)
+	for i := range out {
+		out[i] = sorted[i].Clone()
+	}
+	return out
+}
+
+// evaluateAll computes fitness for every individual, fanning out across a
+// bounded worker pool. Results land at fixed indices, so the outcome is
+// independent of goroutine interleaving. Rejected individuals get +Inf.
+func evaluateAll(inds []Individual, fitness Evaluator, rejectAbove float64, workers int, res *Result) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inds) {
+		workers = len(inds)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		rejected int
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f, err := fitness(inds[i].Alloc, rejectAbove)
+				switch {
+				case err == nil:
+					inds[i].Fitness = f
+				case errors.Is(err, ErrRejected):
+					inds[i].Fitness = math.Inf(1)
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				default:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range inds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	res.Evaluations += len(inds)
+	res.Rejections += rejected
+	return firstErr
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

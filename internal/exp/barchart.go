@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the relative-makespan result as a multi-panel grouped bar
+// chart in the layout of the paper's Figures 4 and 5: one panel per workload
+// class, one bar group per baseline, one bar per cluster, each bar with its
+// 95% confidence-interval whisker. The y axis starts at 1.0 (parity with
+// EMTS) like the paper's plots.
+func (r *RelMakespanResult) SVG(width, height int) string {
+	byWorkload := map[string][]Cell{}
+	var order []string
+	for _, c := range r.Cells {
+		if _, ok := byWorkload[c.Workload]; !ok {
+			order = append(order, c.Workload)
+		}
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], c)
+	}
+	panels := len(order)
+	if panels == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg"/>`
+	}
+
+	// Shared y range across panels, padded above the largest mean+CI.
+	yMax := 1.0
+	for _, c := range r.Cells {
+		if v := c.Ratio.Mean + c.Ratio.CI95; v > yMax {
+			yMax = v
+		}
+	}
+	yMax = 1.0 + (yMax-1.0)*1.15
+	if yMax < 1.1 {
+		yMax = 1.1
+	}
+
+	const (
+		marginTop    = 36
+		marginBottom = 44
+		marginLeft   = 46
+		gapX         = 18
+	)
+	panelW := (float64(width) - marginLeft - float64(gapX*(panels))) / float64(panels)
+	plotH := float64(height - marginTop - marginBottom)
+
+	clusterFill := map[string]string{}
+	fills := []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759"}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="18" font-family="sans-serif" font-size="13">Average relative makespan vs %s (model %s), 95%% CI</text>`+"\n",
+		marginLeft, strings.ToUpper(r.EMTS), r.ModelName)
+
+	yOf := func(v float64) float64 {
+		frac := (v - 1.0) / (yMax - 1.0)
+		return marginTop + plotH*(1-frac)
+	}
+
+	for pi, wname := range order {
+		x0 := float64(marginLeft) + float64(pi)*(panelW+gapX)
+		cells := byWorkload[wname]
+
+		// Panel frame, title, and y grid.
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`+"\n",
+			x0, marginTop, panelW, plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x0+panelW/2, float64(marginTop)-6, escapeXML(wname))
+		for _, tick := range yTicks(yMax) {
+			y := yOf(tick)
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n",
+				x0, y, x0+panelW, y)
+			if pi == 0 {
+				fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="end">%.2f</text>`+"\n",
+					x0-4, y+3, tick)
+			}
+		}
+
+		// Group cells by baseline, preserving order.
+		groups := map[string][]Cell{}
+		var gOrder []string
+		for _, c := range cells {
+			if _, ok := groups[c.Baseline]; !ok {
+				gOrder = append(gOrder, c.Baseline)
+			}
+			groups[c.Baseline] = append(groups[c.Baseline], c)
+		}
+		groupW := panelW / float64(len(gOrder))
+		for gi, baseline := range gOrder {
+			bars := groups[baseline]
+			barW := groupW / float64(len(bars)+1)
+			for bi, c := range bars {
+				if _, ok := clusterFill[c.Cluster]; !ok {
+					clusterFill[c.Cluster] = fills[len(clusterFill)%len(fills)]
+				}
+				x := x0 + float64(gi)*groupW + barW*(0.5+float64(bi))
+				yTop := yOf(c.Ratio.Mean)
+				fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s %s: %.3f ±%.3f (n=%d)</title></rect>`+"\n",
+					x, yTop, barW*0.9, yOf(1.0)-yTop, clusterFill[c.Cluster],
+					escapeXML(wname), strings.ToUpper(c.Baseline), c.Cluster,
+					c.Ratio.Mean, c.Ratio.CI95, c.Ratio.N)
+				// CI whisker.
+				cx := x + barW*0.45
+				if c.Ratio.CI95 > 0 {
+					fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+						cx, yOf(c.Ratio.Mean+c.Ratio.CI95), cx, yOf(c.Ratio.Mean-c.Ratio.CI95))
+					for _, yv := range []float64{c.Ratio.Mean + c.Ratio.CI95, c.Ratio.Mean - c.Ratio.CI95} {
+						fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+							cx-3, yOf(yv), cx+3, yOf(yv))
+					}
+				}
+			}
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+				x0+float64(gi)*groupW+groupW/2, height-marginBottom+14, strings.ToUpper(baseline))
+		}
+	}
+
+	// Legend.
+	lx := float64(marginLeft)
+	ly := float64(height - 14)
+	for _, cl := range sortedKeys(clusterFill) {
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, clusterFill[cl])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%s</text>`+"\n", lx+13, ly, escapeXML(cl))
+		lx += 13 + 7*float64(len(cl)) + 20
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// yTicks picks round tick values for a [1, yMax] axis.
+func yTicks(yMax float64) []float64 {
+	step := 0.1
+	if yMax-1 > 1 {
+		step = 0.25
+	} else if yMax-1 < 0.3 {
+		step = 0.05
+	}
+	var ticks []float64
+	for v := 1.0; v <= yMax+1e-9; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

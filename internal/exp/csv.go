@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV exporters: every experiment result renders as a machine-readable table
+// so external tooling (R, gnuplot, pandas) can re-plot the paper's figures
+// from this reproduction's raw numbers.
+
+// CSV renders the relative-makespan result (Figures 4/5).
+func (r *RelMakespanResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("model,emts,workload,baseline,cluster,mean_ratio,ci95,sd,n,min,max\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%s,%g,%g,%g,%d,%g,%g\n",
+			r.ModelName, r.EMTS, c.Workload, c.Baseline, c.Cluster,
+			c.Ratio.Mean, c.Ratio.CI95, c.Ratio.SD, c.Ratio.N, c.Ratio.Min, c.Ratio.Max)
+	}
+	return sb.String()
+}
+
+// CSV renders the PDGEMM-like curves (Figure 1).
+func (r *Figure1Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("procs")
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, ",time_%dx%d_s", s.MatrixSize, s.MatrixSize)
+	}
+	sb.WriteString("\n")
+	for p := 1; p <= r.MaxProcs; p++ {
+		fmt.Fprintf(&sb, "%d", p)
+		for _, s := range r.Series {
+			fmt.Fprintf(&sb, ",%g", s.Times[p-1])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the mutation-operator densities (Figure 3).
+func (r *Figure3Result) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("adjustment,empirical,analytic\n")
+	for c := r.Lo; c <= r.Hi; c++ {
+		fmt.Fprintf(&sb, "%d,%g,%g\n", c, r.Empirical[c-r.Lo], r.Analytic[c-r.Lo])
+	}
+	return sb.String()
+}
+
+// CSV renders the run-time table (Section V-B).
+func (r *RuntimeResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("ea,workload,cluster,mean_s,sd_s,ci95_s,n\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%s,%g,%g,%g,%d\n",
+			row.EMTS, row.Workload, row.Cluster,
+			row.Seconds.Mean, row.Seconds.SD, row.Seconds.CI95, row.Seconds.N)
+	}
+	return sb.String()
+}
+
+// CSV renders the search-method comparison.
+func (c *SearchComparison) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("cluster,budget,method,mean_ratio,ci95,sd,n\n")
+	for _, row := range c.Rows {
+		fmt.Fprintf(&sb, "%s,%d,%s,%g,%g,%g,%d\n",
+			c.Cluster, c.Budget, row.Method,
+			row.RelativeToEMTS.Mean, row.RelativeToEMTS.CI95, row.RelativeToEMTS.SD, row.RelativeToEMTS.N)
+	}
+	return sb.String()
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"emts/internal/platform"
+)
+
+func TestFigure1CSV(t *testing.T) {
+	r, err := Figure1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + p=1..4
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "procs,time_1024x1024_s") {
+		t.Fatalf("header %q", lines[0])
+	}
+}
+
+func TestFigure3CSV(t *testing.T) {
+	r, err := Figure3(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.CSV()
+	if !strings.Contains(out, "adjustment,empirical,analytic") {
+		t.Fatal("header missing")
+	}
+	if got := strings.Count(out, "\n"); got != 42 { // header + 41 adjustments
+		t.Fatalf("%d lines", got)
+	}
+}
+
+func TestRelMakespanCSV(t *testing.T) {
+	w, err := StrassenWorkload(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RelativeMakespan(RelMakespanConfig{
+		ModelName: "amdahl", EMTS: "emts5", Baselines: []string{"mcpa"},
+		Workloads: []Workload{w}, Clusters: []platform.Cluster{platform.Chti()},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.CSV()
+	if !strings.Contains(out, "amdahl,emts5,Strassen,mcpa,chti,") {
+		t.Fatalf("CSV row missing:\n%s", out)
+	}
+}
+
+func TestRuntimeCSV(t *testing.T) {
+	r, err := RuntimeTable(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.CSV()
+	if got := strings.Count(out, "\n"); got != 9 { // header + 8 rows
+		t.Fatalf("%d lines", got)
+	}
+}
+
+func TestSearchComparisonCSV(t *testing.T) {
+	w, err := StrassenWorkload(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CompareSearchMethods(w, platform.Chti(), "synthetic", 130, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.CSV()
+	for _, m := range []string{"hillclimb", "anneal", "random-search", "comma-es"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("CSV missing %s", m)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"emts/internal/platform"
+)
+
+func TestCompareSearchMethods(t *testing.T) {
+	w, err := IrregularWorkload(50, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Graphs = w.Graphs[:4]
+	res, err := CompareSearchMethods(w, platform.Grelon(), "synthetic", 130, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]SearchRow{}
+	for _, r := range res.Rows {
+		if r.RelativeToEMTS.N != 4 {
+			t.Fatalf("%s has n=%d", r.Method, r.RelativeToEMTS.N)
+		}
+		if r.RelativeToEMTS.Mean <= 0 {
+			t.Fatalf("%s ratio %g", r.Method, r.RelativeToEMTS.Mean)
+		}
+		byName[r.Method] = r
+	}
+	// Random search on a 50-task, 120-proc space with 130 samples must be
+	// clearly worse than EMTS with MCPA seeding.
+	if byName["random-search"].RelativeToEMTS.Mean < 1 {
+		t.Fatalf("random search beat EMTS: %+v", byName["random-search"])
+	}
+	out := res.Format()
+	for _, want := range []string{"hillclimb", "anneal", "random-search", "comma-es"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %s", want)
+		}
+	}
+}
+
+func TestCompareSearchMethodsValidation(t *testing.T) {
+	w, _ := StrassenWorkload(1, 1)
+	if _, err := CompareSearchMethods(w, platform.Chti(), "nope", 130, 1); err == nil {
+		t.Fatal("bad model accepted")
+	}
+	if _, err := CompareSearchMethods(w, platform.Chti(), "amdahl", 1, 1); err == nil {
+		t.Fatal("tiny budget accepted")
+	}
+}

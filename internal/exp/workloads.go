@@ -1,0 +1,152 @@
+// Package exp regenerates the paper's evaluation: every figure of Section V
+// and the run-time numbers quoted in its prose. Each experiment returns a
+// typed result that renders as a text table mirroring the paper's artifact,
+// so paper-vs-measured comparisons (EXPERIMENTS.md) are mechanical.
+package exp
+
+import (
+	"fmt"
+
+	"emts/internal/dag"
+	"emts/internal/daggen"
+)
+
+// Workload is a named collection of PTG instances of one class (FFT,
+// Strassen, layered, irregular).
+type Workload struct {
+	// Name labels the class, matching the paper's figure captions
+	// ("FFT", "Strassen", "layered n=100", "irregular n=100").
+	Name string
+	// Graphs holds the instances.
+	Graphs []*dag.Graph
+}
+
+// FFTWorkload generates perSize instances for each of the paper's four FFT
+// sizes (2, 4, 8, 16 input points → 5, 15, 39, 95 tasks). The paper uses
+// perSize = 100 (400 FFT PTGs).
+func FFTWorkload(perSize int, baseSeed int64) (Workload, error) {
+	w := Workload{Name: "FFT"}
+	seed := baseSeed
+	for _, points := range []int{2, 4, 8, 16} {
+		for i := 0; i < perSize; i++ {
+			g, err := daggen.FFT(points, daggen.DefaultCosts(), seed)
+			if err != nil {
+				return Workload{}, err
+			}
+			w.Graphs = append(w.Graphs, g)
+			seed++
+		}
+	}
+	return w, nil
+}
+
+// StrassenWorkload generates instances of the Strassen PTG differing only in
+// task complexities. The paper uses instances = 100.
+func StrassenWorkload(instances int, baseSeed int64) (Workload, error) {
+	w := Workload{Name: "Strassen"}
+	for i := 0; i < instances; i++ {
+		g, err := daggen.Strassen(daggen.DefaultCosts(), baseSeed+int64(i))
+		if err != nil {
+			return Workload{}, err
+		}
+		w.Graphs = append(w.Graphs, g)
+	}
+	return w, nil
+}
+
+// shapeParams are the paper's DAGGEN parameter grids (Section IV-C).
+var (
+	widths       = []float64{0.2, 0.5, 0.8}
+	regularities = []float64{0.2, 0.8}
+	densities    = []float64{0.2, 0.8}
+	jumps        = []int{1, 2, 4}
+)
+
+// LayeredWorkload generates layered random PTGs (jump = 0) with n tasks:
+// every width × regularity × density combination, seedsPerCombo instances
+// each. The paper's figures use n = 100 with 3 seeds per combination
+// (36 instances; 108 across all three sizes).
+func LayeredWorkload(n, seedsPerCombo int, baseSeed int64) (Workload, error) {
+	w := Workload{Name: fmt.Sprintf("layered n=%d", n)}
+	seed := baseSeed
+	for _, width := range widths {
+		for _, reg := range regularities {
+			for _, dens := range densities {
+				for k := 0; k < seedsPerCombo; k++ {
+					g, err := daggen.Random(daggen.RandomConfig{
+						N: n, Width: width, Regularity: reg, Density: dens, Jump: 0,
+					}, daggen.DefaultCosts(), seed)
+					if err != nil {
+						return Workload{}, err
+					}
+					w.Graphs = append(w.Graphs, g)
+					seed++
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// IrregularWorkload generates irregular random PTGs with n tasks: every
+// width × regularity × density × jump∈{1,2,4} combination, seedsPerCombo
+// instances each. The paper's figures use n = 100 with 3 seeds per
+// combination (108 instances; 324 across all three sizes).
+func IrregularWorkload(n, seedsPerCombo int, baseSeed int64) (Workload, error) {
+	w := Workload{Name: fmt.Sprintf("irregular n=%d", n)}
+	seed := baseSeed
+	for _, width := range widths {
+		for _, reg := range regularities {
+			for _, dens := range densities {
+				for _, jump := range jumps {
+					for k := 0; k < seedsPerCombo; k++ {
+						g, err := daggen.Random(daggen.RandomConfig{
+							N: n, Width: width, Regularity: reg, Density: dens, Jump: jump,
+						}, daggen.DefaultCosts(), seed)
+						if err != nil {
+							return Workload{}, err
+						}
+						w.Graphs = append(w.Graphs, g)
+						seed++
+					}
+				}
+			}
+		}
+	}
+	return w, nil
+}
+
+// PaperWorkloads builds the four workload classes of Figures 4 and 5. scale
+// in ]0, 1] shrinks instance counts proportionally for quick runs: scale = 1
+// reproduces the paper's counts for the plotted classes (400 FFT, 100
+// Strassen, 36 layered n=100, 108 irregular n=100); scale = 0.1 is a
+// smoke-test sweep.
+func PaperWorkloads(scale float64, baseSeed int64) ([]Workload, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("exp: scale %g outside ]0, 1]", scale)
+	}
+	count := func(full int) int {
+		c := int(float64(full)*scale + 0.5)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	fft, err := FFTWorkload(count(100), baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	strassen, err := StrassenWorkload(count(100), baseSeed+10_000)
+	if err != nil {
+		return nil, err
+	}
+	layered, err := LayeredWorkload(100, count(3), baseSeed+20_000)
+	if err != nil {
+		return nil, err
+	}
+	irregular, err := IrregularWorkload(100, count(3), baseSeed+30_000)
+	if err != nil {
+		return nil, err
+	}
+	return []Workload{fft, strassen, layered, irregular}, nil
+}

@@ -1,0 +1,54 @@
+package model
+
+import (
+	"testing"
+
+	"emts/internal/dag"
+)
+
+func TestMonotoneEnvelope(t *testing.T) {
+	v := dag.Task{Flops: 10e9, Alpha: 0.05}
+	wrapped := Monotone{Inner: Synthetic{}}
+	prev := wrapped.Time(v, 1, testCluster)
+	for p := 2; p <= testCluster.Procs; p++ {
+		cur := wrapped.Time(v, p, testCluster)
+		if cur > prev {
+			t.Fatalf("envelope not monotone at p=%d: %g > %g", p, cur, prev)
+		}
+		// Never better than the best raw configuration up to p.
+		bestRaw := (Synthetic{}).Time(v, 1, testCluster)
+		for q := 2; q <= p; q++ {
+			if raw := (Synthetic{}).Time(v, q, testCluster); raw < bestRaw {
+				bestRaw = raw
+			}
+		}
+		if cur != bestRaw {
+			t.Fatalf("envelope at p=%d is %g, want %g", p, cur, bestRaw)
+		}
+		prev = cur
+	}
+}
+
+func TestMonotoneTableIsMonotone(t *testing.T) {
+	g := singleTaskGraph(t, 10e9, 0.1)
+	tab := MustTable(g, Monotone{Inner: Synthetic{}}, testCluster)
+	if !tab.Monotone() {
+		t.Fatal("monotonized table reports non-monotone")
+	}
+}
+
+func TestMonotoneName(t *testing.T) {
+	if (Monotone{Inner: Synthetic{}}).Name() != "synthetic-monotone" {
+		t.Fatal("name")
+	}
+}
+
+func TestMonotonePreservesMonotoneModels(t *testing.T) {
+	v := dag.Task{Flops: 10e9, Alpha: 0.2}
+	wrapped := Monotone{Inner: Amdahl{}}
+	for p := 1; p <= testCluster.Procs; p++ {
+		if wrapped.Time(v, p, testCluster) != (Amdahl{}).Time(v, p, testCluster) {
+			t.Fatalf("envelope changed a monotone model at p=%d", p)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the platform reader never panics and only accepts valid
+// clusters.
+func FuzzRead(f *testing.F) {
+	f.Add("chti 20 4.3\n")
+	f.Add(`{"name":"x","procs":8,"speed_gflops":2.5}`)
+	f.Add("# comment\n\n grelon 120 3.1")
+	f.Add("a b c")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted invalid cluster %+v: %v", c, err)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Write encodes the schedule as indented JSON to w.
+func (s *Schedule) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read decodes a schedule from JSON. Structural validation against a graph is
+// the caller's job (Validate); Read only checks basic well-formedness.
+func Read(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("schedule: decoding: %w", err)
+	}
+	if s.Procs < 0 {
+		return nil, fmt.Errorf("schedule: negative processor count %d", s.Procs)
+	}
+	return &s, nil
+}

@@ -1,0 +1,27 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the schedule reader never panics and that accepted
+// schedules have a non-negative makespan and usable renderers.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"graph":"g","procs":2,"entries":[{"task":0,"start":0,"end":1,"procs":[0]}]}`)
+	f.Add(`{"procs":-1}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if s.Makespan() < 0 {
+			t.Fatal("negative makespan accepted")
+		}
+		// Renderers must not panic on any accepted schedule.
+		_ = s.ASCII(20)
+		_ = s.SVG(100, 100)
+		_ = s.Utilization()
+	})
+}

@@ -1,0 +1,178 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt rendering used to regenerate Figure 6: side-by-side schedule plots of
+// MCPA and EMTS10. Two renderers are provided: an ASCII renderer for the
+// terminal and an SVG renderer for reports.
+
+// ganttGlyphs is the symbol alphabet for ASCII charts: task i uses glyph
+// i mod len(ganttGlyphs).
+const ganttGlyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+// ASCII renders the schedule as a text Gantt chart, one row per processor and
+// width columns across the makespan. Idle time renders as '.', and each task
+// as a repeating glyph derived from its ID. Processors are ordered top to
+// bottom.
+func (s *Schedule) ASCII(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	ms := s.Makespan()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule %q: %d tasks on %d procs, makespan %.4g s\n", s.Graph, len(s.Entries), s.Procs, ms)
+	if ms == 0 {
+		return sb.String()
+	}
+	rows := make([][]byte, s.Procs)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range s.Entries {
+		lo := int(e.Start / ms * float64(width))
+		hi := int(e.End / ms * float64(width))
+		if lo < 0 {
+			lo = 0 // unvalidated schedules may carry negative times
+		}
+		if hi <= lo {
+			hi = lo + 1 // every task paints at least one cell
+		}
+		if hi > width {
+			hi = width
+		}
+		if lo >= width {
+			continue
+		}
+		glyph := ganttGlyphs[abs(int(e.Task))%len(ganttGlyphs)]
+		for _, p := range e.Procs {
+			if p < 0 || p >= len(rows) {
+				continue // unvalidated schedule; rendering stays best-effort
+			}
+			for c := lo; c < hi; c++ {
+				rows[p][c] = glyph
+			}
+		}
+	}
+	for p, row := range rows {
+		fmt.Fprintf(&sb, "p%03d |%s|\n", p, row)
+	}
+	// Time axis.
+	fmt.Fprintf(&sb, "     %s\n", strings.Repeat(" ", 1))
+	fmt.Fprintf(&sb, "     0%s%.4g s\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.4g s", ms))), ms)
+	return sb.String()
+}
+
+// svgPalette holds visually distinct fill colors; task i uses color
+// i mod len(svgPalette).
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+	"#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#86bcb6", "#d37295",
+}
+
+// SVG renders the schedule as a standalone SVG Gantt chart of the given pixel
+// dimensions. Time runs left to right, processors top to bottom. Each task is
+// a colored rectangle labelled with its ID (when it is wide enough).
+func (s *Schedule) SVG(width, height int) string {
+	const margin = 40
+	ms := s.Makespan()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="16" font-family="sans-serif" font-size="12">%s — makespan %.4g s on %d procs</text>`+"\n",
+		margin, escapeXML(s.Graph), ms, s.Procs)
+	if ms == 0 || s.Procs == 0 {
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	plotW := float64(width - 2*margin)
+	plotH := float64(height - 2*margin)
+	rowH := plotH / float64(s.Procs)
+	xOf := func(t float64) float64 { return margin + t/ms*plotW }
+
+	// Draw longer tasks first so tiny tasks stay visible on top.
+	order := make([]int, len(s.Entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := s.Entries[order[a]].End - s.Entries[order[a]].Start
+		db := s.Entries[order[b]].End - s.Entries[order[b]].Start
+		return da > db
+	})
+	for _, i := range order {
+		e := s.Entries[i]
+		color := svgPalette[abs(int(e.Task))%len(svgPalette)]
+		x := xOf(e.Start)
+		w := xOf(e.End) - x
+		if w < 1 {
+			w = 1
+		}
+		// One rectangle per contiguous run of processors.
+		procs := append([]int(nil), e.Procs...)
+		sort.Ints(procs)
+		for lo := 0; lo < len(procs); {
+			hi := lo
+			for hi+1 < len(procs) && procs[hi+1] == procs[hi]+1 {
+				hi++
+			}
+			y := float64(margin) + float64(procs[lo])*rowH
+			h := float64(hi-lo+1) * rowH
+			fmt.Fprintf(&sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" stroke="black" stroke-width="0.4"><title>task %d: [%.4g, %.4g) on %d procs</title></rect>`+"\n",
+				x, y, w, h, color, e.Task, e.Start, e.End, len(e.Procs))
+			if w > 18 && h > 10 {
+				fmt.Fprintf(&sb, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="9" fill="white">%d</text>`+"\n",
+					x+2, y+h/2+3, e.Task)
+			}
+			lo = hi + 1
+		}
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		margin, margin, margin, height-margin)
+	for i := 0; i <= 4; i++ {
+		tv := ms * float64(i) / 4
+		fmt.Fprintf(&sb, `<text x="%.2f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%.3g</text>`+"\n",
+			xOf(tv), height-margin+14, tv)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%.2f" font-family="sans-serif" font-size="10" text-anchor="end">p0</text>`+"\n",
+		margin-4, float64(margin)+rowH*0.7)
+	fmt.Fprintf(&sb, `<text x="%d" y="%.2f" font-family="sans-serif" font-size="10" text-anchor="end">p%d</text>`+"\n",
+		margin-4, float64(height-margin), s.Procs-1)
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Utilization returns the fraction of processor-time busy before the
+// makespan: sum over tasks of duration*procs divided by makespan*P. The
+// paper's Figure 6 discussion contrasts MCPA's "poor resource utilization"
+// with EMTS's; this is the corresponding number.
+func (s *Schedule) Utilization() float64 {
+	ms := s.Makespan()
+	if ms == 0 || s.Procs == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, e := range s.Entries {
+		busy += (e.End - e.Start) * float64(len(e.Procs))
+	}
+	return busy / (ms * float64(s.Procs))
+}

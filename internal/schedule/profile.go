@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"emts/internal/dag"
+)
+
+// Profile is a per-processor and aggregate utilization analysis of a
+// schedule — the quantitative counterpart of the Figure 6 discussion
+// ("poor resource utilization").
+type Profile struct {
+	// Makespan is the schedule completion time.
+	Makespan float64
+	// Procs is the platform size.
+	Procs int
+	// BusyTime[p] is the total time processor p executes tasks.
+	BusyTime []float64
+	// TaskCount[p] is the number of tasks processor p takes part in.
+	TaskCount []int
+	// Utilization is total busy processor-time / (Makespan * Procs).
+	Utilization float64
+	// IdleProcs is the number of processors that never execute anything.
+	IdleProcs int
+	// MaxConcurrency is the largest number of simultaneously busy
+	// processors.
+	MaxConcurrency int
+	// MeanWait is the average task waiting time: start minus the latest
+	// predecessor-independent ready estimate is not recoverable from the
+	// schedule alone, so MeanWait here is the mean start time (how late
+	// tasks begin), a proxy for queueing depth.
+	MeanWait float64
+}
+
+// Event is one start or end of a task, for event-ordered playback.
+type Event struct {
+	// Time of the event.
+	Time float64
+	// Task concerned.
+	Task dag.TaskID
+	// Start is true for a task start, false for completion.
+	Start bool
+	// Procs is the number of processors the task holds.
+	Procs int
+}
+
+// Events returns the schedule's start/end events in time order (ends before
+// starts at equal times, so processor counts never exceed P during
+// playback).
+func (s *Schedule) Events() []Event {
+	evs := make([]Event, 0, 2*len(s.Entries))
+	for _, e := range s.Entries {
+		evs = append(evs, Event{Time: e.Start, Task: e.Task, Start: true, Procs: len(e.Procs)})
+		evs = append(evs, Event{Time: e.End, Task: e.Task, Start: false, Procs: len(e.Procs)})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time {
+			return evs[i].Time < evs[j].Time
+		}
+		if evs[i].Start != evs[j].Start {
+			return !evs[i].Start // completions first
+		}
+		return evs[i].Task < evs[j].Task
+	})
+	return evs
+}
+
+// NewProfile computes the utilization profile of a schedule.
+func NewProfile(s *Schedule) *Profile {
+	p := &Profile{
+		Makespan:  s.Makespan(),
+		Procs:     s.Procs,
+		BusyTime:  make([]float64, s.Procs),
+		TaskCount: make([]int, s.Procs),
+	}
+	sumStart := 0.0
+	for _, e := range s.Entries {
+		dur := e.End - e.Start
+		sumStart += e.Start
+		for _, proc := range e.Procs {
+			if proc < 0 || proc >= s.Procs {
+				continue
+			}
+			p.BusyTime[proc] += dur
+			p.TaskCount[proc]++
+		}
+	}
+	busy := 0.0
+	for proc := range p.BusyTime {
+		busy += p.BusyTime[proc]
+		if p.TaskCount[proc] == 0 {
+			p.IdleProcs++
+		}
+	}
+	if p.Makespan > 0 && p.Procs > 0 {
+		p.Utilization = busy / (p.Makespan * float64(p.Procs))
+	}
+	if len(s.Entries) > 0 {
+		p.MeanWait = sumStart / float64(len(s.Entries))
+	}
+	// Playback for peak concurrency.
+	cur := 0
+	for _, ev := range s.Events() {
+		if ev.Start {
+			cur += ev.Procs
+			if cur > p.MaxConcurrency {
+				p.MaxConcurrency = cur
+			}
+		} else {
+			cur -= ev.Procs
+		}
+	}
+	return p
+}
+
+// Format renders the profile as a short report.
+func (p *Profile) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan:        %.4g s\n", p.Makespan)
+	fmt.Fprintf(&sb, "utilization:     %.1f%%\n", 100*p.Utilization)
+	fmt.Fprintf(&sb, "idle processors: %d of %d\n", p.IdleProcs, p.Procs)
+	fmt.Fprintf(&sb, "peak concurrency: %d processors busy\n", p.MaxConcurrency)
+	fmt.Fprintf(&sb, "mean task start: %.4g s\n", p.MeanWait)
+	return sb.String()
+}
+
+// CSV renders the schedule entries as CSV (task,start,end,procs,proc_list)
+// for external analysis/plotting.
+func (s *Schedule) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("task,start,end,procs,proc_list\n")
+	for _, e := range s.Entries {
+		ids := make([]string, len(e.Procs))
+		for i, p := range e.Procs {
+			ids[i] = fmt.Sprint(p)
+		}
+		fmt.Fprintf(&sb, "%d,%g,%g,%d,%s\n", e.Task, e.Start, e.End, len(e.Procs), strings.Join(ids, " "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+// profSchedule: 4 procs; task 0 on {0,1} [0,2); task 1 on {0} [2,4);
+// task 2 on {2,3} [1,3).
+func profSchedule() *Schedule {
+	return &Schedule{
+		Graph: "prof",
+		Procs: 4,
+		Entries: []Entry{
+			{Task: 0, Start: 0, End: 2, Procs: []int{0, 1}},
+			{Task: 1, Start: 2, End: 4, Procs: []int{0}},
+			{Task: 2, Start: 1, End: 3, Procs: []int{2, 3}},
+		},
+	}
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := NewProfile(profSchedule())
+	if p.Makespan != 4 {
+		t.Fatalf("makespan %g", p.Makespan)
+	}
+	// Busy: p0 = 2+2 = 4, p1 = 2, p2 = 2, p3 = 2; total 10 of 16.
+	if p.BusyTime[0] != 4 || p.BusyTime[1] != 2 || p.BusyTime[2] != 2 {
+		t.Fatalf("busy: %v", p.BusyTime)
+	}
+	if p.Utilization != 10.0/16.0 {
+		t.Fatalf("utilization %g", p.Utilization)
+	}
+	if p.IdleProcs != 0 {
+		t.Fatalf("idle %d", p.IdleProcs)
+	}
+	if p.TaskCount[0] != 2 || p.TaskCount[3] != 1 {
+		t.Fatalf("task counts: %v", p.TaskCount)
+	}
+	// Peak concurrency: at t in [1,2): tasks 0 (2 procs) + 2 (2 procs) = 4.
+	if p.MaxConcurrency != 4 {
+		t.Fatalf("peak concurrency %d", p.MaxConcurrency)
+	}
+	// Mean start = (0+2+1)/3 = 1.
+	if p.MeanWait != 1 {
+		t.Fatalf("mean wait %g", p.MeanWait)
+	}
+	if out := p.Format(); !strings.Contains(out, "utilization") {
+		t.Fatal("Format broken")
+	}
+}
+
+func TestProfileIdleProcs(t *testing.T) {
+	s := &Schedule{Graph: "idle", Procs: 3, Entries: []Entry{
+		{Task: 0, Start: 0, End: 1, Procs: []int{1}},
+	}}
+	p := NewProfile(s)
+	if p.IdleProcs != 2 {
+		t.Fatalf("idle %d, want 2", p.IdleProcs)
+	}
+}
+
+func TestProfileEmptySchedule(t *testing.T) {
+	p := NewProfile(&Schedule{Procs: 2})
+	if p.Utilization != 0 || p.MaxConcurrency != 0 || p.MeanWait != 0 {
+		t.Fatalf("empty profile: %+v", p)
+	}
+}
+
+func TestEventsOrdering(t *testing.T) {
+	evs := profSchedule().Events()
+	if len(evs) != 6 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// Time-ordered; completions before starts at equal times.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("events out of order")
+		}
+		if evs[i].Time == evs[i-1].Time && evs[i-1].Start && !evs[i].Start {
+			t.Fatal("start ordered before completion at equal time")
+		}
+	}
+	// Playback never exceeds the platform size.
+	cur := 0
+	for _, ev := range evs {
+		if ev.Start {
+			cur += ev.Procs
+		} else {
+			cur -= ev.Procs
+		}
+		if cur < 0 || cur > 4 {
+			t.Fatalf("concurrency %d out of range during playback", cur)
+		}
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	out := profSchedule().CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0] != "task,start,end,procs,proc_list" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0,0,2,2,0 1") {
+		t.Fatalf("row %q", lines[1])
+	}
+}

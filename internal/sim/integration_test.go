@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"emts/internal/dag"
+	"emts/internal/daggen"
+	"emts/internal/platform"
+)
+
+// TestFullMatrix runs every algorithm under every model on both paper
+// clusters for one small instance — the broadest integration sweep in the
+// repository. Every combination must produce a schedule that passes full
+// validation (RunTable validates internally).
+func TestFullMatrix(t *testing.T) {
+	g, err := daggen.FFT(4, daggen.DefaultCosts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cluster := range platform.Both() {
+		for _, modelName := range ModelNames() {
+			for _, algo := range AlgorithmNames() {
+				rep, err := Run(g, cluster, modelName, algo, 3)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", cluster.Name, modelName, algo, err)
+				}
+				if rep.Makespan <= 0 {
+					t.Fatalf("%s/%s/%s: makespan %g", cluster.Name, modelName, algo, rep.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossCalls: same inputs, same seed, same makespan —
+// for every algorithm, including the stochastic ones.
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	g, err := daggen.Random(daggen.RandomConfig{
+		N: 30, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 1,
+	}, daggen.DefaultCosts(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range AlgorithmNames() {
+		r1, err := Run(g, platform.Chti(), "synthetic", algo, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(g, platform.Chti(), "synthetic", algo, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Makespan != r2.Makespan {
+			t.Fatalf("%s not deterministic: %g vs %g", algo, r1.Makespan, r2.Makespan)
+		}
+	}
+}
+
+// TestZeroCostTaskRejectedAtTableBoundary documents the contract: structural
+// zero-FLOP tasks are rejected when the time table is built, with a clear
+// error, instead of corrupting schedules downstream.
+func TestZeroCostTaskRejectedAtTableBoundary(t *testing.T) {
+	b := dag.NewBuilder("zero")
+	b.AddTask(dag.Task{Name: "structural", Flops: 0})
+	g := b.MustBuild()
+	if _, err := Run(g, platform.Chti(), "amdahl", "cpa", 1); err == nil {
+		t.Fatal("zero-cost task accepted")
+	}
+}
+
+// TestEMTSDominatesItsSeedsAcrossModels: the plus-selection guarantee holds
+// under every model.
+func TestEMTSDominatesItsSeedsAcrossModels(t *testing.T) {
+	g, err := daggen.Strassen(daggen.DefaultCosts(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, modelName := range ModelNames() {
+		rep, err := Run(g, platform.Grelon(), modelName, "emts5", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EMTS == nil {
+			t.Fatal("missing EMTS details")
+		}
+		if rep.Makespan > rep.EMTS.BestSeedMakespan() {
+			t.Fatalf("%s: EMTS %g worse than best seed %g",
+				modelName, rep.Makespan, rep.EMTS.BestSeedMakespan())
+		}
+	}
+}

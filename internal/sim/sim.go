@@ -1,0 +1,186 @@
+// Package sim is the simulator of Section IV: it ties platforms, PTGs,
+// execution-time models, and scheduling algorithms together behind a uniform
+// by-name interface, runs an algorithm on an instance, validates the
+// resulting schedule, and reports the outcome. The CLI tools and the
+// experiment harness are thin wrappers around this package.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"emts/internal/alloc"
+	"emts/internal/core"
+	"emts/internal/dag"
+	"emts/internal/listsched"
+	"emts/internal/model"
+	"emts/internal/onestep"
+	"emts/internal/platform"
+	"emts/internal/schedule"
+)
+
+// ModelNames lists the execution-time models available by name.
+func ModelNames() []string {
+	return []string{"amdahl", "synthetic", "synthetic-literal", "synthetic-monotone", "downey"}
+}
+
+// ModelByName resolves an execution-time model. The Downey model uses
+// A = 64, sigma = 0.5 unless parametrized programmatically.
+func ModelByName(name string) (model.Model, error) {
+	switch strings.ToLower(name) {
+	case "amdahl", "model1":
+		return model.Amdahl{}, nil
+	case "synthetic", "model2":
+		return model.Synthetic{}, nil
+	case "synthetic-literal":
+		return model.SyntheticLiteral{}, nil
+	case "synthetic-monotone":
+		return model.Monotone{Inner: model.Synthetic{}}, nil
+	case "downey":
+		return model.Downey{A: 64, Sigma: 0.5}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+}
+
+// AlgorithmNames lists the scheduling algorithms available by name: the
+// two-step heuristics (allocator + list-scheduling mapper), the one-step
+// earliest-finish-time scheduler, and the two EMTS presets.
+func AlgorithmNames() []string {
+	return []string{"one", "cpa", "hcpa", "mcpa", "mcpa2", "bicpa", "delta-cp", "eft", "emts5", "emts10"}
+}
+
+// Report is the outcome of running one algorithm on one instance.
+type Report struct {
+	// Algorithm, Model, Graph, Cluster identify the run.
+	Algorithm string
+	Model     string
+	Graph     string
+	Cluster   platform.Cluster
+	// Schedule is the validated schedule.
+	Schedule *schedule.Schedule
+	// Makespan is the optimization objective, in seconds.
+	Makespan float64
+	// Elapsed is the wall-clock time the algorithm took (allocation +
+	// mapping; for EMTS the whole evolutionary optimization).
+	Elapsed time.Duration
+	// EMTS is non-nil for evolutionary runs and carries the EA details.
+	EMTS *core.Result
+}
+
+// Utilization is the fraction of processor time spent busy.
+func (r *Report) Utilization() float64 { return r.Schedule.Utilization() }
+
+// Run executes the named algorithm on graph g under the named model on the
+// cluster, using seed for all stochastic choices, and validates the result.
+func Run(g *dag.Graph, cluster platform.Cluster, modelName, algorithm string, seed int64) (*Report, error) {
+	m, err := ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := model.NewTable(g, m, cluster)
+	if err != nil {
+		return nil, err
+	}
+	return RunTable(g, cluster, tab, algorithm, seed)
+}
+
+// RunTable is Run for callers that already built the execution-time table
+// (e.g. to amortize it across algorithms on the same instance).
+func RunTable(g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64) (*Report, error) {
+	rep := &Report{
+		Algorithm: strings.ToLower(algorithm),
+		Model:     tab.Name(),
+		Graph:     g.Name(),
+		Cluster:   cluster,
+	}
+	start := time.Now()
+	switch rep.Algorithm {
+	case "emts5", "emts10", "emts":
+		params := core.EMTS5(seed)
+		if rep.Algorithm == "emts10" {
+			params = core.EMTS10(seed)
+		}
+		res, err := core.Run(g, tab, params)
+		if err != nil {
+			return nil, err
+		}
+		rep.EMTS = res
+		rep.Schedule = res.Schedule
+		rep.Makespan = res.Makespan
+	case "eft", "onestep":
+		s, err := onestep.GreedyEFT{}.Schedule(g, tab)
+		if err != nil {
+			return nil, err
+		}
+		rep.Schedule = s
+		rep.Makespan = s.Makespan()
+	default:
+		al, err := allocatorByName(rep.Algorithm, seed)
+		if err != nil {
+			return nil, err
+		}
+		a, err := al.Allocate(g, tab)
+		if err != nil {
+			return nil, err
+		}
+		s, err := listsched.Map(g, tab, a)
+		if err != nil {
+			return nil, err
+		}
+		rep.Schedule = s
+		rep.Makespan = s.Makespan()
+	}
+	rep.Elapsed = time.Since(start)
+	if err := rep.Schedule.Validate(g, tab); err != nil {
+		return nil, fmt.Errorf("sim: %s produced an invalid schedule: %w", rep.Algorithm, err)
+	}
+	return rep, nil
+}
+
+func allocatorByName(name string, seed int64) (alloc.Allocator, error) {
+	switch name {
+	case "one":
+		return alloc.OneEach{}, nil
+	case "random":
+		return alloc.Random{Seed: seed}, nil
+	case "cpa":
+		return alloc.CPA{}, nil
+	case "hcpa":
+		return alloc.HCPA{}, nil
+	case "mcpa":
+		return alloc.MCPA{}, nil
+	case "mcpa2":
+		return alloc.MCPA2{}, nil
+	case "bicpa":
+		return alloc.BiCPA{Theta: 0.5}, nil
+	case "delta-cp", "deltacp":
+		return alloc.DeltaCP{Delta: 0.9}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown algorithm %q (have %s)",
+		name, strings.Join(AlgorithmNames(), ", "))
+}
+
+// Compare runs several algorithms on the same instance (sharing one
+// execution-time table and seed) and returns the reports sorted by makespan.
+func Compare(g *dag.Graph, cluster platform.Cluster, modelName string, algorithms []string, seed int64) ([]*Report, error) {
+	m, err := ModelByName(modelName)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := model.NewTable(g, m, cluster)
+	if err != nil {
+		return nil, err
+	}
+	reports := make([]*Report, 0, len(algorithms))
+	for _, algo := range algorithms {
+		r, err := RunTable(g, cluster, tab, algo, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", algo, err)
+		}
+		reports = append(reports, r)
+	}
+	sort.SliceStable(reports, func(i, j int) bool { return reports[i].Makespan < reports[j].Makespan })
+	return reports, nil
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"emts/internal/daggen"
+	"emts/internal/platform"
+)
+
+func TestModelByName(t *testing.T) {
+	for _, name := range ModelNames() {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("%s: nil model", name)
+		}
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	// Aliases.
+	if m, _ := ModelByName("model1"); m.Name() != "amdahl" {
+		t.Fatal("model1 alias broken")
+	}
+	if m, _ := ModelByName("Model2"); m.Name() != "synthetic" {
+		t.Fatal("model2 alias broken (case-insensitivity)")
+	}
+}
+
+func TestRunAllAlgorithmsOnFFT(t *testing.T) {
+	g, err := daggen.FFT(8, daggen.DefaultCosts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range AlgorithmNames() {
+		rep, err := Run(g, platform.Chti(), "synthetic", algo, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if rep.Makespan <= 0 {
+			t.Fatalf("%s: makespan %g", algo, rep.Makespan)
+		}
+		if rep.Schedule == nil {
+			t.Fatalf("%s: nil schedule", algo)
+		}
+		if u := rep.Utilization(); u <= 0 || u > 1 {
+			t.Fatalf("%s: utilization %g", algo, u)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithm(t *testing.T) {
+	g, _ := daggen.FFT(2, daggen.DefaultCosts(), 1)
+	if _, err := Run(g, platform.Chti(), "amdahl", "magic", 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Run(g, platform.Chti(), "wat", "cpa", 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunEMTSCarriesEAResult(t *testing.T) {
+	g, _ := daggen.Strassen(daggen.DefaultCosts(), 3)
+	rep, err := Run(g, platform.Chti(), "synthetic", "emts5", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EMTS == nil {
+		t.Fatal("EMTS details missing")
+	}
+	if len(rep.EMTS.History) != 6 {
+		t.Fatalf("history length %d", len(rep.EMTS.History))
+	}
+	if rep.Makespan > rep.EMTS.BestSeedMakespan() {
+		t.Fatal("EMTS worse than its seeds")
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("elapsed time not measured")
+	}
+}
+
+func TestCompareSharesInstanceAndSorts(t *testing.T) {
+	g, err := daggen.Random(daggen.RandomConfig{
+		N: 30, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 1,
+	}, daggen.DefaultCosts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Compare(g, platform.Grelon(), "synthetic",
+		[]string{"mcpa", "hcpa", "emts5"}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Makespan < reports[i-1].Makespan {
+			t.Fatal("reports not sorted by makespan")
+		}
+	}
+	// EMTS5 seeds from MCPA and HCPA, so it must rank first (ties allowed).
+	if reports[0].Algorithm != "emts5" && reports[0].Makespan != reports[1].Makespan {
+		t.Fatalf("EMTS5 not best: %s at %g", reports[0].Algorithm, reports[0].Makespan)
+	}
+}
+
+func TestCompareUnknownAlgorithmNamesOffender(t *testing.T) {
+	g, _ := daggen.FFT(2, daggen.DefaultCosts(), 1)
+	_, err := Compare(g, platform.Chti(), "amdahl", []string{"cpa", "bogus"}, 1)
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v, want mention of offender", err)
+	}
+}

@@ -502,24 +502,39 @@ func BenchmarkTimeTableBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkEMTS5Instance measures one complete EMTS5 optimization of a
-// 100-task PTG on Grelon — the unit of the run-time table.
-func BenchmarkEMTS5Instance(b *testing.B) {
+// emtsInstanceBench measures one complete EMTS optimization of a 100-task
+// PTG on Grelon — the unit of the run-time table — and reports the fraction
+// of fitness evaluations answered by the memoization cache.
+func emtsInstanceBench(b *testing.B, mkParams func(int64) core.Params) {
 	g, tab, _ := benchInstance(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(g, tab, core.EMTS5(1)); err != nil {
+		res, err := core.Run(g, tab, mkParams(1))
+		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 && res.Evaluations > 0 {
+			b.ReportMetric(float64(res.CacheHits)/float64(res.Evaluations), "cache_hit_rate")
 		}
 	}
 }
 
+// BenchmarkEMTS5Instance measures one complete EMTS5 optimization of a
+// 100-task PTG on Grelon — the unit of the run-time table.
+func BenchmarkEMTS5Instance(b *testing.B) { emtsInstanceBench(b, core.EMTS5) }
+
 // BenchmarkEMTS10Instance measures one complete EMTS10 optimization.
-func BenchmarkEMTS10Instance(b *testing.B) {
+func BenchmarkEMTS10Instance(b *testing.B) { emtsInstanceBench(b, core.EMTS10) }
+
+// BenchmarkEMTS5InstanceNoCache is the A/B control: the same optimization
+// with the memoized, arena-reusing evaluation engine disabled.
+func BenchmarkEMTS5InstanceNoCache(b *testing.B) {
 	g, tab, _ := benchInstance(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(g, tab, core.EMTS10(1)); err != nil {
+		p := core.EMTS5(1)
+		p.DisableCache = true
+		if _, err := core.Run(g, tab, p); err != nil {
 			b.Fatal(err)
 		}
 	}

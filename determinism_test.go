@@ -1,0 +1,92 @@
+// Determinism regression tests for the memoized, arena-reusing fitness
+// evaluation engine: with equal seeds, EMTS must produce bit-identical results
+// whether or not the cache and per-worker Mapper arenas are in play.
+package emts_test
+
+import (
+	"reflect"
+	"testing"
+
+	"emts/internal/core"
+	"emts/internal/dag"
+	"emts/internal/daggen"
+	"emts/internal/model"
+	"emts/internal/platform"
+)
+
+// determinismGraphs returns the two PTG shapes the regression pins: an FFT
+// (regular, wide) and an irregular random graph (the paper's hardest class).
+func determinismGraphs(t *testing.T) []*dag.Graph {
+	t.Helper()
+	fft, err := daggen.FFT(16, daggen.DefaultCosts(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := daggen.Random(daggen.RandomConfig{
+		N: 60, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 2,
+	}, daggen.DefaultCosts(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*dag.Graph{fft, rnd}
+}
+
+func TestEvaluationEngineDeterminism(t *testing.T) {
+	presets := []struct {
+		name string
+		mk   func(int64) core.Params
+	}{
+		{"emts5", core.EMTS5},
+		{"emts10", core.EMTS10},
+	}
+	for _, g := range determinismGraphs(t) {
+		tab, err := model.NewTable(g, model.Synthetic{}, platform.Grelon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pr := range presets {
+			for _, useRejection := range []bool{false, true} {
+				p := pr.mk(42)
+				p.UseRejection = useRejection
+
+				withCache, err := core.Run(g, tab, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.DisableCache = true
+				plain, err := core.Run(g, tab, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				ctx := g.Name() + "/" + pr.name
+				if withCache.Makespan != plain.Makespan {
+					t.Errorf("%s rejection=%v: makespan %g with cache, %g without",
+						ctx, useRejection, withCache.Makespan, plain.Makespan)
+				}
+				if !reflect.DeepEqual(withCache.Alloc, plain.Alloc) {
+					t.Errorf("%s rejection=%v: best allocations differ", ctx, useRejection)
+				}
+				if !reflect.DeepEqual(withCache.History, plain.History) {
+					t.Errorf("%s rejection=%v: histories differ", ctx, useRejection)
+				}
+				if withCache.Evaluations != plain.Evaluations {
+					t.Errorf("%s rejection=%v: Evaluations %d with cache, %d without — the search budget must not depend on memoization",
+						ctx, useRejection, withCache.Evaluations, plain.Evaluations)
+				}
+				if withCache.Rejections != plain.Rejections {
+					t.Errorf("%s rejection=%v: Rejections %d with cache, %d without",
+						ctx, useRejection, withCache.Rejections, plain.Rejections)
+				}
+				if withCache.CacheHits == 0 {
+					t.Errorf("%s rejection=%v: expected cache hits (plus-selection re-evaluates parents every generation)",
+						ctx, useRejection)
+				}
+				if plain.CacheHits != 0 {
+					t.Errorf("%s rejection=%v: CacheHits = %d with the cache disabled",
+						ctx, useRejection, plain.CacheHits)
+				}
+			}
+		}
+	}
+}

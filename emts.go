@@ -83,6 +83,11 @@ type (
 	GenStats = ea.GenStats
 	// Strategy selects plus- or comma-selection (Params.Strategy).
 	Strategy = ea.Strategy
+	// Mapper is the reusable, allocation-free evaluation engine for the
+	// mapping step: it owns all per-call scratch state, so repeated
+	// Makespan/Map calls against one (graph, table) pair reuse arenas.
+	// Not safe for concurrent use — one Mapper per goroutine.
+	Mapper = listsched.Mapper
 )
 
 // Selection strategies for Params.Strategy.
@@ -265,6 +270,15 @@ func Makespan(g *Graph, tab *TimeTable, a Allocation) (float64, error) {
 	return listsched.Makespan(g, tab, a)
 }
 
+// NewMapper returns a reusable evaluation engine for repeated mapping of
+// allocations of one graph onto one cluster. After warm-up, Mapper.Makespan
+// performs zero heap allocations, which makes it the right primitive for
+// custom search loops over allocations (EMTS itself uses one Mapper per
+// evaluation worker internally).
+func NewMapper(g *Graph, tab *TimeTable) (*Mapper, error) {
+	return listsched.NewMapper(g, tab)
+}
+
 // DefaultCosts returns the paper's random task-complexity parameters
 // (Section IV-C).
 func DefaultCosts() CostConfig { return daggen.DefaultCosts() }
@@ -305,8 +319,14 @@ func RandomSearch() SearchMethod { return search.RandomSearch{} }
 // fitness evaluations. For a fair comparison, EMTS5 spends 130 evaluations
 // and EMTS10 spends 1010.
 func OptimizeSearch(g *Graph, tab *TimeTable, m SearchMethod, seeds []Allocation, budget int, seed int64) (Allocation, float64, error) {
+	// The search methods evaluate sequentially, so one shared Mapper reuses
+	// its scratch arenas across the whole budget.
+	mapper, err := listsched.NewMapper(g, tab)
+	if err != nil {
+		return nil, 0, err
+	}
 	fitness := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
-		return listsched.Makespan(g, tab, a)
+		return mapper.Makespan(a)
 	}
 	res, err := m.Optimize(g.NumTasks(), tab.Procs(), seeds, fitness, budget, seed)
 	if err != nil {

@@ -95,14 +95,46 @@ func cpaCore(g *dag.Graph, tab *model.Table, growable func(v dag.TaskID, s sched
 		area += tab.Time(dag.TaskID(i), 1)
 	}
 
+	// Bottom levels and the critical path are recomputed every iteration, so
+	// both reuse one buffer across the whole loop (the dominant allocation
+	// cost of seeding otherwise).
+	var bl []float64
+	path := make([]dag.TaskID, 0, g.NumTasks())
+	sources := g.Sources()
+
 	// Each increment changes one allocation, so at most V·(P-1) iterations.
 	for iter := 0; iter < g.NumTasks()*procs; iter++ {
-		tcp := g.CriticalPathLength(cost)
+		bl = g.BottomLevelsInto(cost, bl)
+		tcp := 0.0
+		for _, b := range bl {
+			if b > tcp {
+				tcp = b
+			}
+		}
 		ta := area / float64(procs)
 		if tcp <= ta {
 			break
 		}
-		path, _ := g.CriticalPath(cost)
+		// Walk the critical path from the highest-bottom-level source,
+		// breaking ties toward the smaller task ID exactly like
+		// dag.CriticalPath.
+		path = path[:0]
+		cur := dag.TaskID(-1)
+		for _, src := range sources {
+			if cur == -1 || bl[src] > bl[cur] {
+				cur = src
+			}
+		}
+		for cur != -1 {
+			path = append(path, cur)
+			next := dag.TaskID(-1)
+			for _, s := range g.Successors(cur) {
+				if next == -1 || bl[s] > bl[next] {
+					next = s
+				}
+			}
+			cur = next
+		}
 		best := dag.TaskID(-1)
 		bestGain := 0.0
 		for _, v := range path {

@@ -62,6 +62,12 @@ type Params struct {
 	// UseRejection enables the future-work rejection strategy of Section VI
 	// inside the fitness function.
 	UseRejection bool
+	// DisableCache turns off the memoized, arena-reusing fitness-evaluation
+	// engine: every evaluation then rebuilds its scratch state and duplicate
+	// allocations are re-mapped from scratch. Results are bit-identical
+	// either way; the switch exists for A/B measurement and the determinism
+	// regression tests.
+	DisableCache bool
 	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Seed drives every stochastic choice. Equal seeds ⇒ identical results,
@@ -123,8 +129,12 @@ type Result struct {
 	// generation (non-increasing).
 	History []float64
 	// Evaluations counts fitness evaluations; Rejections counts the ones cut
-	// short by the rejection bound.
+	// short by the rejection bound. Evaluations is independent of the
+	// fitness cache: memoized answers still count toward the budget.
 	Evaluations, Rejections int
+	// CacheHits counts fitness evaluations answered by the memoization
+	// cache instead of a fresh list-scheduling pass (see ea.Result.CacheHits).
+	CacheHits int
 }
 
 // BestSeedMakespan returns the smallest makespan among successful starting
@@ -156,6 +166,10 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 		seeders = DefaultSeeds(p.Seed)
 	}
 	res := &Result{}
+	seedMapper, err := listsched.NewMapper(g, tab)
+	if err != nil {
+		return nil, err
+	}
 	var seedAllocs []schedule.Allocation
 	for _, s := range seeders {
 		a, err := s.Allocate(g, tab)
@@ -164,7 +178,7 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 			continue
 		}
 		a.Clamp(procs)
-		ms, err := listsched.Makespan(g, tab, a)
+		ms, err := seedMapper.Makespan(a)
 		if err != nil {
 			res.Seeds = append(res.Seeds, SeedResult{Name: s.Name(), Err: err})
 			continue
@@ -176,6 +190,10 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 		return nil, fmt.Errorf("emts: every starting heuristic failed (first: %v)", res.Seeds[0].Err)
 	}
 
+	// fitness is the legacy shared evaluator; with the evaluation engine
+	// enabled (the default) each EA worker instead owns an arena-backed
+	// Mapper from the factory below, so a warm fitness call allocates
+	// nothing. Both paths produce bit-identical makespans.
 	fitness := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
 		s, err := listsched.MapWithOptions(g, tab, a, listsched.Options{
 			SkipProcSets: true,
@@ -189,21 +207,42 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 		}
 		return s.Makespan(), nil
 	}
+	var factory func() ea.Evaluator
+	if !p.DisableCache {
+		factory = func() ea.Evaluator {
+			m, err := listsched.NewMapper(g, tab)
+			if err != nil {
+				return fitness // unreachable: sizes were validated above
+			}
+			return func(a schedule.Allocation, rejectAbove float64) (float64, error) {
+				f, err := m.MakespanBounded(a, rejectAbove)
+				if errors.Is(err, listsched.ErrRejected) {
+					return 0, ea.ErrRejected
+				}
+				if err != nil {
+					return 0, err
+				}
+				return f, nil
+			}
+		}
+	}
 
 	cfg := ea.Config{
-		Mu:            p.Mu,
-		Lambda:        p.Lambda,
-		Generations:   p.Generations,
-		Fm:            p.Fm,
-		Mutator:       p.Mutation,
-		CrossoverProb: p.CrossoverProb,
-		UseRejection:  p.UseRejection,
-		Workers:       p.Workers,
-		Seed:          p.Seed,
-		Strategy:      p.Strategy,
-		SelfAdaptive:  p.SelfAdaptive,
-		InitialSigma:  p.InitialSigma,
-		OnGeneration:  p.OnGeneration,
+		Mu:               p.Mu,
+		Lambda:           p.Lambda,
+		Generations:      p.Generations,
+		Fm:               p.Fm,
+		Mutator:          p.Mutation,
+		CrossoverProb:    p.CrossoverProb,
+		UseRejection:     p.UseRejection,
+		Workers:          p.Workers,
+		Seed:             p.Seed,
+		EvaluatorFactory: factory,
+		DisableCache:     p.DisableCache,
+		Strategy:         p.Strategy,
+		SelfAdaptive:     p.SelfAdaptive,
+		InitialSigma:     p.InitialSigma,
+		OnGeneration:     p.OnGeneration,
 	}
 	run, err := ea.Run(cfg, g.NumTasks(), procs, seedAllocs, fitness)
 	if err != nil {
@@ -220,5 +259,6 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 	res.History = run.History
 	res.Evaluations = run.Evaluations
 	res.Rejections = run.Rejections
+	res.CacheHits = run.CacheHits
 	return res, nil
 }

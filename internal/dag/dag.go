@@ -59,6 +59,13 @@ type Graph struct {
 	succ  [][]TaskID
 	pred  [][]TaskID
 	edges int
+	// topo and indeg are computed once at Build time and shared by every
+	// analysis pass. Immutability makes this safe: the adjacency never
+	// changes, so neither do the topological order nor the indegrees. Both
+	// are on the fitness-evaluation hot path (millions of mapping calls per
+	// experiment), which is why they are cached rather than recomputed.
+	topo  []TaskID
+	indeg []int
 }
 
 // Builder incrementally assembles a Graph. It is not safe for concurrent use.
@@ -140,9 +147,15 @@ func (b *Builder) Build() (*Graph, error) {
 		sort.Slice(g.succ[i], func(a, c int) bool { return g.succ[i][a] < g.succ[i][c] })
 		sort.Slice(g.pred[i], func(a, c int) bool { return g.pred[i][a] < g.pred[i][c] })
 	}
-	if _, err := g.TopologicalOrder(); err != nil {
+	g.indeg = make([]int, len(g.tasks))
+	for i := range g.tasks {
+		g.indeg[i] = len(g.pred[i])
+	}
+	topo, err := g.computeTopo()
+	if err != nil {
 		return nil, err
 	}
+	g.topo = topo
 	return g, nil
 }
 
@@ -217,8 +230,38 @@ func (g *Graph) Sinks() []TaskID {
 var ErrCycle = errors.New("dag: graph contains a cycle")
 
 // TopologicalOrder returns the task IDs in a deterministic topological order
-// (Kahn's algorithm with a min-ID tie-break), or ErrCycle.
+// (Kahn's algorithm with a min-ID tie-break), or ErrCycle. The order is
+// computed once at Build time; this returns a fresh copy the caller may
+// modify.
 func (g *Graph) TopologicalOrder() ([]TaskID, error) {
+	if g.topo != nil || len(g.tasks) == 0 {
+		return append([]TaskID(nil), g.topo...), nil
+	}
+	return g.computeTopo()
+}
+
+// topoOrder returns the cached topological order without copying. Internal
+// analysis passes use it read-only; a Graph that passed Build always has it.
+func (g *Graph) topoOrder() []TaskID {
+	if g.topo == nil && len(g.tasks) > 0 {
+		// Only reachable for graphs constructed without Build (not possible
+		// outside this package); fall back to a fresh computation.
+		topo, err := g.computeTopo()
+		if err != nil {
+			panic("dag: topoOrder on cyclic graph: " + err.Error())
+		}
+		return topo
+	}
+	return g.topo
+}
+
+// Indegrees returns the number of predecessors of every task, indexed by
+// TaskID. The returned slice is shared and must not be modified; callers that
+// consume indegrees (e.g. Kahn-style ready tracking) must copy it first.
+func (g *Graph) Indegrees() []int { return g.indeg }
+
+// computeTopo runs Kahn's algorithm from scratch.
+func (g *Graph) computeTopo() ([]TaskID, error) {
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	for i := range g.tasks {
@@ -253,10 +296,7 @@ func (g *Graph) TopologicalOrder() ([]TaskID, error) {
 // the tasks grouped by level. This is the "precedence level" of Section III-B
 // used by the Delta-critical heuristic and by MCPA's level bound.
 func (g *Graph) PrecedenceLevels() (level []int, byLevel [][]TaskID) {
-	order, err := g.TopologicalOrder()
-	if err != nil {
-		panic("dag: PrecedenceLevels on cyclic graph that passed Build: " + err.Error())
-	}
+	order := g.topoOrder()
 	level = make([]int, len(g.tasks))
 	maxLevel := 0
 	for _, v := range order {
@@ -286,8 +326,21 @@ type CostFunc func(id TaskID) float64
 // every task: the length of the longest path from v to a sink including v's
 // own execution time (footnote 1 of the paper).
 func (g *Graph) BottomLevels(cost CostFunc) []float64 {
-	order, _ := g.TopologicalOrder()
-	bl := make([]float64, len(g.tasks))
+	return g.BottomLevelsInto(cost, nil)
+}
+
+// BottomLevelsInto is BottomLevels writing into dst, which is grown if its
+// capacity is insufficient and reused otherwise. It performs no heap
+// allocation when cap(dst) >= NumTasks(), which makes repeated bottom-level
+// computations (one per fitness evaluation) allocation-free; see
+// listsched.Mapper.
+func (g *Graph) BottomLevelsInto(cost CostFunc, dst []float64) []float64 {
+	n := len(g.tasks)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	bl := dst[:n]
+	order := g.topoOrder()
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		maxSucc := 0.0
@@ -304,7 +357,7 @@ func (g *Graph) BottomLevels(cost CostFunc) []float64 {
 // TopLevels computes tl(v) = max over predecessors (tl(pred) + cost(pred)),
 // the earliest time v could start if processors were unlimited.
 func (g *Graph) TopLevels(cost CostFunc) []float64 {
-	order, _ := g.TopologicalOrder()
+	order := g.topoOrder()
 	tl := make([]float64, len(g.tasks))
 	for _, v := range order {
 		maxPred := 0.0

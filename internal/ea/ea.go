@@ -15,9 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"emts/internal/schedule"
 )
@@ -224,6 +222,18 @@ type Config struct {
 	// Workers bounds the parallelism of fitness evaluation; 0 means
 	// runtime.GOMAXPROCS(0). 1 forces sequential evaluation.
 	Workers int
+	// EvaluatorFactory, when non-nil, supplies one independent Evaluator per
+	// worker goroutine instead of sharing the Evaluator passed to Run. This
+	// lets arena-backed evaluators (listsched.Mapper) reuse their scratch
+	// state lock-free: each worker owns its instance for the whole run, so a
+	// (5+25)×5 EMTS run builds 𝑂(workers) arenas instead of ~130. Factory
+	// products must obey the same purity contract as Evaluator.
+	EvaluatorFactory func() Evaluator
+	// DisableCache turns off fitness memoization and within-batch
+	// deduplication. Results are bit-identical either way (the cache is
+	// exact; see Result.CacheHits) — the switch exists for A/B measurement
+	// and regression tests.
+	DisableCache bool
 	// Seed drives all stochastic choices; equal seeds give equal runs.
 	Seed int64
 	// Strategy selects plus- (default) or comma-selection.
@@ -272,10 +282,17 @@ type Result struct {
 	// History holds the best fitness after initialization (History[0]) and
 	// after each generation; it is non-increasing by plus-selection.
 	History []float64
-	// Evaluations counts Evaluator calls (including rejected ones).
+	// Evaluations counts fitness evaluations (including rejected ones). The
+	// count is independent of memoization: an individual answered from the
+	// fitness cache still counts, so the EA's evaluation budget reads the
+	// same with the cache on or off.
 	Evaluations int
 	// Rejections counts evaluations aborted by the rejection bound.
 	Rejections int
+	// CacheHits counts the fitness evaluations answered without invoking an
+	// Evaluator: memoized results from earlier generations plus duplicates
+	// within one batch. Always 0 when Config.DisableCache is set.
+	CacheHits int
 }
 
 // Run executes the (μ+λ) evolution strategy on allocations of length v for a
@@ -303,6 +320,7 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &Result{}
+	eng := newEvalEngine(cfg, fitness)
 
 	// Initial pool: seeds (clamped defensively) plus random fill.
 	pool := make([]Individual, 0, max(len(seeds), cfg.Mu))
@@ -319,7 +337,7 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 		}
 		pool = append(pool, Individual{Alloc: a})
 	}
-	if err := evaluateAll(pool, fitness, 0, cfg.Workers, res); err != nil {
+	if err := eng.evaluateAll(pool, 0, res); err != nil {
 		return nil, err
 	}
 	parents := selectBest(pool, cfg.Mu)
@@ -374,7 +392,7 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 			bound = res.Best.Fitness
 		}
 		rejectedBefore := res.Rejections
-		if err := evaluateAll(offspring, fitness, bound, cfg.Workers, res); err != nil {
+		if err := eng.evaluateAll(offspring, bound, res); err != nil {
 			return nil, err
 		}
 		// Selection: plus-strategy pools parents with offspring; the
@@ -443,62 +461,4 @@ func selectBest(pool []Individual, mu int) []Individual {
 		out[i] = sorted[i].Clone()
 	}
 	return out
-}
-
-// evaluateAll computes fitness for every individual, fanning out across a
-// bounded worker pool. Results land at fixed indices, so the outcome is
-// independent of goroutine interleaving. Rejected individuals get +Inf.
-func evaluateAll(inds []Individual, fitness Evaluator, rejectAbove float64, workers int, res *Result) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(inds) {
-		workers = len(inds)
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		rejected int
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f, err := fitness(inds[i].Alloc, rejectAbove)
-				switch {
-				case err == nil:
-					inds[i].Fitness = f
-				case errors.Is(err, ErrRejected):
-					inds[i].Fitness = math.Inf(1)
-					mu.Lock()
-					rejected++
-					mu.Unlock()
-				default:
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range inds {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	res.Evaluations += len(inds)
-	res.Rejections += rejected
-	return firstErr
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

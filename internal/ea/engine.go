@@ -1,0 +1,234 @@
+package ea
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"emts/internal/schedule"
+)
+
+// evalEngine drives all fitness evaluation of one Run: it owns the per-worker
+// Evaluator instances (so arena-backed evaluators like listsched.Mapper are
+// reused instead of reallocated on every call) and the fitness memoization
+// cache.
+//
+// The cache is exact, not heuristic: plus-selection re-carries parents into
+// the next generation's pool and the Eq. (1) mutation operator frequently
+// regenerates an allocation that was already evaluated, so identical vectors
+// recur often. Because Evaluators are pure functions of the allocation, a
+// memoized fitness can stand in for a fresh call. Rejection is emulated
+// exactly as well: an Evaluator honoring rejectAbove fails if and only if the
+// true fitness exceeds the bound (see Mapper.MakespanBounded), so a cache hit
+// with fitness f is treated as rejected precisely when f > rejectAbove.
+// Results are therefore bit-identical with the cache on or off.
+type evalEngine struct {
+	fallback Evaluator
+	factory  func() Evaluator
+	workers  int
+	perW     []Evaluator
+	cache    map[uint64][]memoEntry // nil when memoization is disabled
+}
+
+// memoEntry resolves hash collisions by keeping the full vector. The alloc
+// slice is retained by reference: individuals are never mutated in place
+// after evaluation (offspring are cloned from parents before mutation), so
+// the reference stays valid for the whole run.
+type memoEntry struct {
+	alloc   schedule.Allocation
+	fitness float64
+}
+
+func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
+	eng := &evalEngine{fallback: fitness, factory: cfg.EvaluatorFactory, workers: cfg.Workers}
+	if eng.workers <= 0 {
+		eng.workers = runtime.GOMAXPROCS(0)
+	}
+	if !cfg.DisableCache {
+		eng.cache = make(map[uint64][]memoEntry)
+	}
+	return eng
+}
+
+// evaluator returns the Evaluator owned by worker w, constructing it on first
+// use. Must be called before the worker goroutines start.
+func (eng *evalEngine) evaluator(w int) Evaluator {
+	if eng.factory == nil {
+		return eng.fallback
+	}
+	for len(eng.perW) <= w {
+		eng.perW = append(eng.perW, eng.factory())
+	}
+	return eng.perW[w]
+}
+
+func (eng *evalEngine) lookup(key uint64, a schedule.Allocation) (float64, bool) {
+	for _, e := range eng.cache[key] {
+		if allocsEqual(e.alloc, a) {
+			return e.fitness, true
+		}
+	}
+	return 0, false
+}
+
+func (eng *evalEngine) insert(key uint64, a schedule.Allocation, f float64) {
+	eng.cache[key] = append(eng.cache[key], memoEntry{alloc: a, fitness: f})
+}
+
+// hashAlloc is FNV-1a over the alleles, widened to uint64 per position.
+func hashAlloc(a schedule.Allocation) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range a {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func allocsEqual(a, b schedule.Allocation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// evaluateAll computes fitness for every individual, fanning out across a
+// bounded worker pool. Results land at fixed indices, so the outcome is
+// independent of goroutine interleaving. Rejected individuals get +Inf.
+//
+// With memoization enabled, each individual is first resolved against the
+// cache and against duplicates earlier in the same batch; only unresolved
+// representatives reach the workers. Evaluations counts every individual
+// regardless of how its fitness was obtained (the EA's search budget is
+// unchanged by caching); CacheHits counts the subset answered without calling
+// an Evaluator.
+func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *Result) error {
+	n := len(inds)
+
+	const (
+		needsEval = -1 // dispatch to a worker
+		resolved  = -2 // answered from the memo cache
+		// >= 0: duplicate of the representative at that index
+	)
+	state := make([]int, n)
+	errs := make([]error, n)
+	keys := make([]uint64, n)
+	toEval := make([]int, 0, n)
+
+	var rejected atomic.Int64
+	if eng.cache != nil {
+		reps := make(map[uint64][]int, n)
+		for i := range inds {
+			key := hashAlloc(inds[i].Alloc)
+			keys[i] = key
+			if f, ok := eng.lookup(key, inds[i].Alloc); ok {
+				res.CacheHits++
+				if rejectAbove > 0 && f > rejectAbove {
+					inds[i].Fitness = math.Inf(1)
+					rejected.Add(1)
+				} else {
+					inds[i].Fitness = f
+				}
+				state[i] = resolved
+				continue
+			}
+			dup := -1
+			for _, j := range reps[key] {
+				if allocsEqual(inds[j].Alloc, inds[i].Alloc) {
+					dup = j
+					break
+				}
+			}
+			if dup >= 0 {
+				state[i] = dup
+				continue
+			}
+			reps[key] = append(reps[key], i)
+			state[i] = needsEval
+			toEval = append(toEval, i)
+		}
+	} else {
+		for i := range inds {
+			state[i] = needsEval
+			toEval = append(toEval, i)
+		}
+	}
+
+	// Parallel phase: only unresolved representatives, one Evaluator per
+	// worker, disjoint writes per index. Shared bookkeeping is lock-free:
+	// rejected is an atomic counter and the first error is captured
+	// once-only by compare-and-swap.
+	var firstErr atomic.Pointer[error]
+	if len(toEval) > 0 {
+		workers := eng.workers
+		if workers > len(toEval) {
+			workers = len(toEval)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(eval Evaluator) {
+				defer wg.Done()
+				for i := range next {
+					f, err := eval(inds[i].Alloc, rejectAbove)
+					switch {
+					case err == nil:
+						inds[i].Fitness = f
+					case errors.Is(err, ErrRejected):
+						inds[i].Fitness = math.Inf(1)
+						errs[i] = err
+						rejected.Add(1)
+					default:
+						errs[i] = err
+						e := err // confine the escape to the error path
+						firstErr.CompareAndSwap(nil, &e)
+					}
+				}
+			}(eng.evaluator(w))
+		}
+		for _, i := range toEval {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Resolution phase: duplicates inherit their representative's outcome,
+	// and fresh successful evaluations enter the cache.
+	for i := range inds {
+		j := state[i]
+		if j < 0 {
+			continue
+		}
+		inds[i].Fitness = inds[j].Fitness
+		errs[i] = errs[j]
+		if errs[i] == nil || errors.Is(errs[i], ErrRejected) {
+			res.CacheHits++
+		}
+		if errors.Is(errs[i], ErrRejected) {
+			rejected.Add(1)
+		}
+	}
+	if eng.cache != nil {
+		for _, i := range toEval {
+			if errs[i] == nil {
+				eng.insert(keys[i], inds[i].Alloc, inds[i].Fitness)
+			}
+		}
+	}
+
+	res.Evaluations += n
+	res.Rejections += int(rejected.Load())
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package ea
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"emts/internal/schedule"
+)
+
+// countingFitness wraps sphereFitness and counts how many times the evaluator
+// is actually invoked (as opposed to answered from the memo cache).
+func countingFitness(target schedule.Allocation, calls *atomic.Int64) Evaluator {
+	inner := sphereFitness(target)
+	return func(a schedule.Allocation, rejectAbove float64) (float64, error) {
+		calls.Add(1)
+		return inner(a, rejectAbove)
+	}
+}
+
+// TestCacheReducesEvaluatorCalls: with memoization on, the evaluator runs
+// fewer times than Result.Evaluations reports, and the difference is exactly
+// CacheHits. With the cache off, every evaluation calls the evaluator.
+func TestCacheReducesEvaluatorCalls(t *testing.T) {
+	const v, procs = 8, 4
+	target := schedule.Ones(v)
+
+	var cached atomic.Int64
+	cfg := defaultConfig(3)
+	res, err := Run(cfg, v, procs, nil, countingFitness(target, &cached))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("expected cache hits: plus-selection re-carries parents every generation")
+	}
+	if got := int(cached.Load()); got+res.CacheHits != res.Evaluations {
+		t.Fatalf("calls(%d) + CacheHits(%d) != Evaluations(%d)", got, res.CacheHits, res.Evaluations)
+	}
+
+	var plain atomic.Int64
+	cfg.DisableCache = true
+	res2, err := Run(cfg, v, procs, nil, countingFitness(target, &plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d with the cache disabled", res2.CacheHits)
+	}
+	if got := int(plain.Load()); got != res2.Evaluations {
+		t.Fatalf("calls(%d) != Evaluations(%d) with the cache disabled", got, res2.Evaluations)
+	}
+	if res.Evaluations != res2.Evaluations {
+		t.Fatalf("Evaluations changed with caching: %d vs %d", res.Evaluations, res2.Evaluations)
+	}
+}
+
+// TestCacheBitIdentical: for any seed, caching on vs off yields identical
+// best individuals, histories, and counters — with and without rejection.
+func TestCacheBitIdentical(t *testing.T) {
+	const v, procs = 10, 6
+	target := make(schedule.Allocation, v)
+	for i := range target {
+		target[i] = 1 + i%procs
+	}
+	f := func(seed int64, useRejection bool) bool {
+		cfg := defaultConfig(seed)
+		cfg.Generations = 6
+		cfg.UseRejection = useRejection
+		r1, err1 := Run(cfg, v, procs, nil, sphereFitness(target))
+		cfg.DisableCache = true
+		r2, err2 := Run(cfg, v, procs, nil, sphereFitness(target))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.Best.Fitness == r2.Best.Fitness &&
+			reflect.DeepEqual(r1.Best.Alloc, r2.Best.Alloc) &&
+			reflect.DeepEqual(r1.History, r2.History) &&
+			r1.Evaluations == r2.Evaluations &&
+			r1.Rejections == r2.Rejections
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluatorFactoryUsedPerWorker: when a factory is configured, Run builds
+// one evaluator per worker and never calls the fallback.
+func TestEvaluatorFactoryUsedPerWorker(t *testing.T) {
+	const v, procs = 8, 4
+	target := schedule.Ones(v)
+
+	var built, fallbackCalls atomic.Int64
+	cfg := defaultConfig(11)
+	cfg.Workers = 3
+	cfg.EvaluatorFactory = func() Evaluator {
+		built.Add(1)
+		return sphereFitness(target)
+	}
+	fallback := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
+		fallbackCalls.Add(1)
+		return sphereFitness(target)(a, rejectAbove)
+	}
+	res, err := Run(cfg, v, procs, nil, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fallbackCalls.Load() != 0 {
+		t.Fatalf("fallback evaluator called %d times despite factory", fallbackCalls.Load())
+	}
+	if n := built.Load(); n == 0 || n > int64(cfg.Workers) {
+		t.Fatalf("factory built %d evaluators, want 1..%d", n, cfg.Workers)
+	}
+	if math.IsInf(res.Best.Fitness, 1) {
+		t.Fatalf("no valid best found: %g", res.Best.Fitness)
+	}
+}
+
+// TestEngineDedupWithinBatch: a batch with repeated allocations evaluates each
+// distinct vector once and copies the outcome to the duplicates.
+func TestEngineDedupWithinBatch(t *testing.T) {
+	target := schedule.Ones(4)
+	var calls atomic.Int64
+	eng := newEvalEngine(Config{Workers: 2}, countingFitness(target, &calls))
+
+	a := schedule.Allocation{1, 2, 3, 4}
+	b := schedule.Allocation{4, 3, 2, 1}
+	inds := []Individual{
+		{Alloc: a.Clone()}, {Alloc: b.Clone()},
+		{Alloc: a.Clone()}, {Alloc: a.Clone()}, {Alloc: b.Clone()},
+	}
+	var res Result
+	if err := eng.evaluateAll(inds, 0, &res); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("evaluator called %d times, want 2", calls.Load())
+	}
+	if res.Evaluations != 5 || res.CacheHits != 3 {
+		t.Fatalf("Evaluations = %d, CacheHits = %d; want 5, 3", res.Evaluations, res.CacheHits)
+	}
+	if inds[0].Fitness != inds[2].Fitness || inds[0].Fitness != inds[3].Fitness {
+		t.Fatal("duplicates did not inherit the representative's fitness")
+	}
+	// A second batch of the same vectors is fully memoized.
+	inds2 := []Individual{{Alloc: a.Clone()}, {Alloc: b.Clone()}}
+	if err := eng.evaluateAll(inds2, 0, &res); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("memo miss on second batch: %d calls", calls.Load())
+	}
+}
+
+// TestEngineCacheEmulatesRejection: a memoized fitness above the bound is
+// reported as rejected (+Inf, counted), matching a live bounded evaluation.
+func TestEngineCacheEmulatesRejection(t *testing.T) {
+	target := schedule.Ones(4)
+	eng := newEvalEngine(Config{Workers: 1}, sphereFitness(target))
+
+	far := schedule.Allocation{8, 8, 8, 8} // fitness 4*49 = 196
+	inds := []Individual{{Alloc: far.Clone()}}
+	var res Result
+	if err := eng.evaluateAll(inds, 0, &res); err != nil { // unbounded: cached
+		t.Fatal(err)
+	}
+	if inds[0].Fitness != 196 {
+		t.Fatalf("fitness = %g, want 196", inds[0].Fitness)
+	}
+	inds2 := []Individual{{Alloc: far.Clone()}}
+	if err := eng.evaluateAll(inds2, 100, &res); err != nil { // bound < 196
+		t.Fatal(err)
+	}
+	if !math.IsInf(inds2[0].Fitness, 1) {
+		t.Fatalf("cached hit above bound not rejected: fitness = %g", inds2[0].Fitness)
+	}
+	if res.Rejections != 1 || res.CacheHits != 1 {
+		t.Fatalf("Rejections = %d, CacheHits = %d; want 1, 1", res.Rejections, res.CacheHits)
+	}
+}

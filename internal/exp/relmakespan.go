@@ -179,13 +179,19 @@ func runInstance(g *dag.Graph, cluster platform.Cluster, m model.Model,
 		out.err = fmt.Errorf("exp: EMTS on %s/%s: %w", g.Name(), cluster.Name, err)
 		return out
 	}
+	// One Mapper per instance: every baseline makespan reuses its arenas.
+	mapper, err := listsched.NewMapper(g, tab)
+	if err != nil {
+		out.err = err
+		return out
+	}
 	for name, al := range baseliners {
 		a, err := al.Allocate(g, tab)
 		if err != nil {
 			out.err = fmt.Errorf("exp: %s on %s/%s: %w", name, g.Name(), cluster.Name, err)
 			return out
 		}
-		ms, err := listsched.Makespan(g, tab, a)
+		ms, err := mapper.Makespan(a)
 		if err != nil {
 			out.err = err
 			return out

@@ -67,8 +67,14 @@ func CompareSearchMethods(w Workload, cluster platform.Cluster, modelName string
 			return nil, err
 		}
 		seeds := []schedule.Allocation{mcpaAlloc}
+		// The search methods evaluate sequentially, so one Mapper per
+		// instance serves the whole budget from warm arenas.
+		mapper, err := listsched.NewMapper(g, tab)
+		if err != nil {
+			return nil, err
+		}
 		fitness := func(a schedule.Allocation, _ float64) (float64, error) {
-			return listsched.Makespan(g, tab, a)
+			return mapper.Makespan(a)
 		}
 		for _, method := range methods {
 			res, err := method.Optimize(g.NumTasks(), tab.Procs(), seeds, fitness, budget, seed)

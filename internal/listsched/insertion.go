@@ -1,7 +1,6 @@
 package listsched
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -36,15 +35,12 @@ func MapInsertion(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*s
 	bl := g.BottomLevels(Cost(tab, alloc))
 	n := g.NumTasks()
 	indeg := make([]int, n)
+	copy(indeg, g.Indegrees())
 	readyTime := make([]float64, n)
-	for i := 0; i < n; i++ {
-		indeg[i] = len(g.Predecessors(dag.TaskID(i)))
-	}
-	ready := &taskQueue{bl: bl}
-	heap.Init(ready)
+	ready := &blHeap{bl: bl}
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
-			heap.Push(ready, dag.TaskID(i))
+			ready.push(dag.TaskID(i))
 		}
 	}
 
@@ -52,8 +48,8 @@ func MapInsertion(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*s
 	sched := &schedule.Schedule{Graph: g.Name(), Procs: procs, Entries: make([]schedule.Entry, n)}
 	placed := 0
 
-	for ready.Len() > 0 {
-		v := heap.Pop(ready).(dag.TaskID)
+	for ready.len() > 0 {
+		v := ready.pop()
 		s := alloc[v]
 		d := tab.Time(v, s)
 
@@ -72,7 +68,7 @@ func MapInsertion(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*s
 			}
 			indeg[w]--
 			if indeg[w] == 0 {
-				heap.Push(ready, w)
+				ready.push(w)
 			}
 		}
 	}

@@ -18,10 +18,7 @@
 package listsched
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
-	"sort"
 
 	"emts/internal/dag"
 	"emts/internal/model"
@@ -54,6 +51,10 @@ func Cost(tab *model.Table, alloc schedule.Allocation) dag.CostFunc {
 }
 
 // Map builds the schedule for the given allocation with default options.
+//
+// Map, Makespan, and MapWithOptions construct a throwaway Mapper per call;
+// loops that map repeatedly against one (graph, table) pair should hold a
+// Mapper and reuse its scratch arenas instead.
 func Map(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*schedule.Schedule, error) {
 	return MapWithOptions(g, tab, alloc, Options{})
 }
@@ -61,154 +62,19 @@ func Map(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*schedule.S
 // Makespan maps the allocation and returns only the resulting makespan — the
 // fitness function F of Section III-A.
 func Makespan(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (float64, error) {
-	s, err := MapWithOptions(g, tab, alloc, Options{SkipProcSets: true})
+	m, err := NewMapper(g, tab)
 	if err != nil {
 		return 0, err
 	}
-	return s.Makespan(), nil
+	return m.Makespan(alloc)
 }
 
-// MapWithOptions builds the schedule for the given allocation.
-//
-// The algorithm is the classical two-step mapping (complexity
-// O(E + V log V + V·P), as quoted in Section III-E): tasks become ready when
-// all predecessors are placed; among ready tasks the one with the largest
-// bottom level runs next (ties broken by task ID); it is placed on the s(v)
-// processors that become available earliest (ties broken by processor index —
-// the "first processor set"), starting at the maximum of its data-ready time
-// and the availability of the last of those processors.
+// MapWithOptions builds the schedule for the given allocation. See
+// Mapper.MapWithOptions for the algorithm.
 func MapWithOptions(g *dag.Graph, tab *model.Table, alloc schedule.Allocation, opt Options) (*schedule.Schedule, error) {
-	procs := tab.Procs()
-	if err := alloc.Validate(g, procs); err != nil {
+	m, err := NewMapper(g, tab)
+	if err != nil {
 		return nil, err
 	}
-	if tab.NumTasks() != g.NumTasks() {
-		return nil, fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
-	}
-
-	bl := g.BottomLevels(Cost(tab, alloc))
-
-	n := g.NumTasks()
-	indeg := make([]int, n)
-	readyTime := make([]float64, n)
-	for i := 0; i < n; i++ {
-		indeg[i] = len(g.Predecessors(dag.TaskID(i)))
-	}
-
-	ready := &taskQueue{bl: bl}
-	heap.Init(ready)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			heap.Push(ready, dag.TaskID(i))
-		}
-	}
-
-	avail := make([]float64, procs)
-	// order holds processor indices sorted by (availability, index); it is
-	// maintained incrementally: scheduling a task rewrites the first s
-	// entries with one shared availability time, so a single merge pass
-	// restores sortedness in O(P) instead of re-sorting.
-	order := make([]int, procs)
-	for i := range order {
-		order[i] = i
-	}
-	scratch := make([]int, procs)
-	sched := &schedule.Schedule{Graph: g.Name(), Procs: procs, Entries: make([]schedule.Entry, n)}
-	placed := 0
-
-	for ready.Len() > 0 {
-		v := heap.Pop(ready).(dag.TaskID)
-		s := alloc[v]
-
-		// The s processors that become available earliest are the first s
-		// entries of order; among equal availability times the
-		// lowest-numbered processors win, which makes the mapping fully
-		// deterministic ("the first processor set").
-		chosen := order[:s]
-
-		start := readyTime[v]
-		if a := avail[chosen[s-1]]; a > start {
-			start = a
-		}
-		if opt.RejectAbove > 0 && start+bl[v] > opt.RejectAbove {
-			return nil, ErrRejected
-		}
-		end := start + tab.Time(v, s)
-
-		e := schedule.Entry{Task: v, Start: start, End: end}
-		if !opt.SkipProcSets {
-			e.Procs = make([]int, s)
-			copy(e.Procs, chosen)
-			sort.Ints(e.Procs)
-		}
-		sched.Entries[v] = e
-		placed++
-
-		for _, p := range chosen {
-			avail[p] = end
-		}
-		// Restore order: the updated processors share avail == end, so sort
-		// them by index among themselves and merge with the untouched,
-		// still-sorted tail.
-		sort.Ints(chosen)
-		merged := scratch[:0]
-		rest := order[s:]
-		i, j := 0, 0
-		for i < len(chosen) && j < len(rest) {
-			a, r := chosen[i], rest[j]
-			if avail[a] < avail[r] || (avail[a] == avail[r] && a < r) {
-				merged = append(merged, a)
-				i++
-			} else {
-				merged = append(merged, r)
-				j++
-			}
-		}
-		merged = append(merged, chosen[i:]...)
-		merged = append(merged, rest[j:]...)
-		copy(order, merged)
-
-		for _, w := range g.Successors(v) {
-			if end > readyTime[w] {
-				readyTime[w] = end
-			}
-			indeg[w]--
-			if indeg[w] == 0 {
-				heap.Push(ready, w)
-			}
-		}
-	}
-
-	if placed != n {
-		return nil, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
-	}
-	return sched, nil
-}
-
-// taskQueue is a max-heap of ready tasks ordered by bottom level (largest
-// first), with task ID as the deterministic tie-break.
-type taskQueue struct {
-	bl    []float64
-	items []dag.TaskID
-}
-
-func (q *taskQueue) Len() int { return len(q.items) }
-
-func (q *taskQueue) Less(i, j int) bool {
-	a, b := q.items[i], q.items[j]
-	if q.bl[a] != q.bl[b] {
-		return q.bl[a] > q.bl[b]
-	}
-	return a < b
-}
-
-func (q *taskQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
-
-func (q *taskQueue) Push(x any) { q.items = append(q.items, x.(dag.TaskID)) }
-
-func (q *taskQueue) Pop() any {
-	last := len(q.items) - 1
-	v := q.items[last]
-	q.items = q.items[:last]
-	return v
+	return m.MapWithOptions(alloc, opt)
 }

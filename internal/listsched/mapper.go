@@ -1,0 +1,280 @@
+package listsched
+
+import (
+	"fmt"
+	"sort"
+
+	"emts/internal/dag"
+	"emts/internal/model"
+	"emts/internal/schedule"
+)
+
+// Mapper is a reusable evaluation engine for the mapping step: it owns every
+// piece of per-call scratch state (bottom-level buffer, indegrees, ready
+// heap, processor availability, entry records), so repeated calls reuse the
+// same arenas instead of reallocating them. After the first call on a given
+// (graph, table) pair, Makespan performs zero heap allocations, which is what
+// makes the EA's fitness evaluation — the dominant cost of EMTS (Section VI)
+// — cheap enough to scale to large populations.
+//
+// A Mapper is NOT safe for concurrent use: each worker goroutine must own its
+// own instance (see ea.Config.EvaluatorFactory). Results are bit-identical to
+// the package-level Map/Makespan functions, which are now thin wrappers that
+// construct a throwaway Mapper.
+type Mapper struct {
+	g     *dag.Graph
+	tab   *model.Table
+	procs int
+
+	// cur is the allocation of the call in flight; cost closes over it so
+	// one closure allocation at construction serves every call.
+	cur  schedule.Allocation
+	cost dag.CostFunc
+
+	bl        []float64
+	indeg     []int
+	readyTime []float64
+	avail     []float64
+	order     []int
+	scratch   []int
+	ready     blHeap
+}
+
+// NewMapper returns a Mapper for the given graph and execution-time table.
+// It fails if the table does not cover exactly the graph's tasks.
+func NewMapper(g *dag.Graph, tab *model.Table) (*Mapper, error) {
+	if tab.NumTasks() != g.NumTasks() {
+		return nil, fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
+	}
+	m := &Mapper{g: g, tab: tab, procs: tab.Procs()}
+	m.cost = func(id dag.TaskID) float64 { return m.tab.Time(id, m.cur[id]) }
+	n := g.NumTasks()
+	m.bl = make([]float64, n)
+	m.indeg = make([]int, n)
+	m.readyTime = make([]float64, n)
+	m.avail = make([]float64, m.procs)
+	m.order = make([]int, m.procs)
+	m.scratch = make([]int, m.procs)
+	m.ready.items = make([]dag.TaskID, 0, n)
+	return m, nil
+}
+
+// Makespan maps the allocation and returns only the resulting makespan — the
+// fitness function F of Section III-A. No schedule object is materialized and
+// no heap memory is allocated on the success path.
+func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
+	return m.mapLoop(alloc, Options{SkipProcSets: true}, nil)
+}
+
+// MakespanBounded is Makespan with the rejection strategy of Section VI: it
+// fails with ErrRejected as soon as a dependence-only lower bound on the
+// final makespan exceeds rejectAbove (when positive). Because that lower
+// bound is exact at the task achieving the makespan, rejection fires if and
+// only if the final makespan would exceed the bound.
+func (m *Mapper) MakespanBounded(alloc schedule.Allocation, rejectAbove float64) (float64, error) {
+	return m.mapLoop(alloc, Options{SkipProcSets: true, RejectAbove: rejectAbove}, nil)
+}
+
+// Map builds the full schedule for the given allocation with default options.
+func (m *Mapper) Map(alloc schedule.Allocation) (*schedule.Schedule, error) {
+	return m.MapWithOptions(alloc, Options{})
+}
+
+// MapWithOptions builds the schedule for the given allocation. The returned
+// schedule is freshly allocated and independent of the Mapper's scratch
+// state.
+func (m *Mapper) MapWithOptions(alloc schedule.Allocation, opt Options) (*schedule.Schedule, error) {
+	entries := make([]schedule.Entry, m.g.NumTasks())
+	if _, err := m.mapLoop(alloc, opt, entries); err != nil {
+		return nil, err
+	}
+	return &schedule.Schedule{Graph: m.g.Name(), Procs: m.procs, Entries: entries}, nil
+}
+
+// mapLoop is the classical two-step mapping (complexity O(E + V log V + V·P),
+// as quoted in Section III-E): tasks become ready when all predecessors are
+// placed; among ready tasks the one with the largest bottom level runs next
+// (ties broken by task ID); it is placed on the s(v) processors that become
+// available earliest (ties broken by processor index — the "first processor
+// set"), starting at the maximum of its data-ready time and the availability
+// of the last of those processors.
+//
+// When entries is non-nil, one Entry per task is recorded there; otherwise
+// only the makespan is tracked (the fitness path).
+func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
+	g, tab := m.g, m.tab
+	if err := alloc.Validate(g, m.procs); err != nil {
+		return 0, err
+	}
+
+	m.cur = alloc
+	bl := g.BottomLevelsInto(m.cost, m.bl)
+	m.bl = bl
+	m.cur = nil // cost is not consulted past this point; drop the reference
+
+	n := g.NumTasks()
+	indeg := m.indeg[:n]
+	copy(indeg, g.Indegrees())
+	readyTime := m.readyTime[:n]
+	for i := range readyTime {
+		readyTime[i] = 0
+	}
+
+	ready := &m.ready
+	ready.bl = bl
+	ready.items = ready.items[:0]
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready.push(dag.TaskID(i))
+		}
+	}
+
+	avail := m.avail[:m.procs]
+	for i := range avail {
+		avail[i] = 0
+	}
+	// order holds processor indices sorted by (availability, index); it is
+	// maintained incrementally: scheduling a task rewrites the first s
+	// entries with one shared availability time, so a single merge pass
+	// restores sortedness in O(P) instead of re-sorting.
+	order := m.order[:m.procs]
+	for i := range order {
+		order[i] = i
+	}
+	scratch := m.scratch[:m.procs]
+	placed := 0
+	makespan := 0.0
+
+	for ready.len() > 0 {
+		v := ready.pop()
+		s := alloc[v]
+
+		// The s processors that become available earliest are the first s
+		// entries of order; among equal availability times the
+		// lowest-numbered processors win, which makes the mapping fully
+		// deterministic ("the first processor set").
+		chosen := order[:s]
+
+		start := readyTime[v]
+		if a := avail[chosen[s-1]]; a > start {
+			start = a
+		}
+		if opt.RejectAbove > 0 && start+bl[v] > opt.RejectAbove {
+			return 0, ErrRejected
+		}
+		end := start + tab.Time(v, s)
+		if end > makespan {
+			makespan = end
+		}
+
+		if entries != nil {
+			e := schedule.Entry{Task: v, Start: start, End: end}
+			if !opt.SkipProcSets {
+				e.Procs = make([]int, s)
+				copy(e.Procs, chosen)
+				sort.Ints(e.Procs)
+			}
+			entries[v] = e
+		}
+		placed++
+
+		for _, p := range chosen {
+			avail[p] = end
+		}
+		// Restore order: the updated processors share avail == end, so sort
+		// them by index among themselves and merge with the untouched,
+		// still-sorted tail.
+		sort.Ints(chosen)
+		merged := scratch[:0]
+		rest := order[s:]
+		i, j := 0, 0
+		for i < len(chosen) && j < len(rest) {
+			a, r := chosen[i], rest[j]
+			if avail[a] < avail[r] || (avail[a] == avail[r] && a < r) {
+				merged = append(merged, a)
+				i++
+			} else {
+				merged = append(merged, r)
+				j++
+			}
+		}
+		merged = append(merged, chosen[i:]...)
+		merged = append(merged, rest[j:]...)
+		copy(order, merged)
+
+		for _, w := range g.Successors(v) {
+			if end > readyTime[w] {
+				readyTime[w] = end
+			}
+			indeg[w]--
+			if indeg[w] == 0 {
+				ready.push(w)
+			}
+		}
+	}
+
+	if placed != n {
+		return 0, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
+	}
+	return makespan, nil
+}
+
+// blHeap is a max-heap of ready tasks ordered by bottom level (largest
+// first), with task ID as the deterministic tie-break. It replaces the
+// container/heap implementation: the interface-based heap boxes every TaskID
+// pushed through `any`, which allocates for IDs >= 256 — unacceptable on the
+// fitness path. Because (bottom level desc, ID asc) is a strict total order,
+// the pop sequence of any correct heap is identical, so swapping the
+// implementation preserves schedules bit for bit.
+type blHeap struct {
+	bl    []float64
+	items []dag.TaskID
+}
+
+func (h *blHeap) len() int { return len(h.items) }
+
+// before reports whether task a runs before task b: larger bottom level
+// first, smaller ID on ties.
+func (h *blHeap) before(a, b dag.TaskID) bool {
+	if h.bl[a] != h.bl[b] {
+		return h.bl[a] > h.bl[b]
+	}
+	return a < b
+}
+
+func (h *blHeap) push(v dag.TaskID) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *blHeap) pop() dag.TaskID {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.before(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r < last && h.before(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}

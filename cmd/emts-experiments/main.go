@@ -102,10 +102,14 @@ func run(fig int, runtimeTable, searchCmp, convergence, all bool, scale float64,
 			return err
 		}
 		fmt.Println(r.Format())
-		for name, s := range map[string]interface{ SVG(int, int) string }{
-			"figure6-mcpa.svg": r.MCPA,
-			"figure6-emts.svg": r.EMTS,
+		for _, out := range []struct {
+			name string
+			s    interface{ SVG(int, int) string }
+		}{
+			{"figure6-mcpa.svg", r.MCPA},
+			{"figure6-emts.svg", r.EMTS},
 		} {
+			name, s := out.name, out.s
 			path := filepath.Join(outdir, name)
 			if err := os.WriteFile(path, []byte(s.SVG(1200, 800)), 0o644); err != nil {
 				return err

@@ -1,0 +1,169 @@
+// Command schedlint is the multichecker for this repository's custom
+// analyzers (see DESIGN.md §9). It runs in two modes:
+//
+// Standalone, over go-list package patterns:
+//
+//	schedlint ./...
+//	schedlint -analyzers norandglobal,floateq ./internal/ea
+//
+// As a go vet tool, which additionally covers test files because cmd/go
+// hands the tool every test variant it builds:
+//
+//	go vet -vettool=$(which schedlint) ./...
+//
+// Both modes honor the .schedlint.conf allowlist at the module root and
+// inline `//schedlint:allow <analyzer> -- <reason>` directives. Exit status
+// is 0 when clean, 2 when any diagnostic fires (matching go vet), and 1 on
+// operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"emts/internal/lint"
+	"emts/internal/lint/config"
+	"emts/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes its tool's identity with -V=full before anything else,
+	// and asks which analyzer flags it accepts with -flags (a JSON array;
+	// empty means schedlint exposes none of its flags through go vet).
+	if len(args) == 1 && args[0] == "-V=full" {
+		// A devel version line must carry a buildID; hashing our own binary
+		// makes go vet's result cache invalidate whenever the analyzers
+		// change.
+		fmt.Printf("schedlint version devel buildID=%s\n", selfID())
+		return 0
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	confPath := fs.String("c", "", "path to .schedlint.conf (default: auto-discover at the module root)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: schedlint [flags] [packages | vet-config.cfg]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	analyzers, ok := lint.ByName(splitNames(*names))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "schedlint: unknown analyzer in %q\n", *names)
+		return 1
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// go vet mode: a single argument naming a *.cfg file written by cmd/go.
+	if len(patterns) == 1 && strings.HasSuffix(patterns[0], ".cfg") {
+		return runVet(patterns[0], analyzers, *confPath)
+	}
+
+	cfg, err := loadConfig(*confPath, ".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	pkgs, err := driver.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	findings, err := driver.Run(pkgs, analyzers, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID returns a content hash of the running binary, for the -V=full
+// build ID. Falls back to a constant if the executable cannot be read.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "schedlint"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "schedlint"
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return "schedlint"
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// loadConfig resolves the allowlist: an explicit -c path, or .schedlint.conf
+// at the module root of dir (so the tool works from any working directory,
+// including the per-package invocations go vet performs).
+func loadConfig(explicit, dir string) (*config.Config, error) {
+	if explicit != "" {
+		return config.Parse(explicit)
+	}
+	root := moduleRoot(dir)
+	if root == "" {
+		return config.Empty(dir), nil
+	}
+	path := filepath.Join(root, config.DefaultFile)
+	if _, err := os.Stat(path); err != nil {
+		return config.Empty(root), nil
+	}
+	return config.Parse(path)
+}
+
+func moduleRoot(dir string) string {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return ""
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return ""
+	}
+	return filepath.Dir(gomod)
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"emts/internal/lint/analysis"
+	"emts/internal/lint/driver"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for each package when a
+// -vettool is in use. The field set mirrors x/tools/go/analysis/unitchecker;
+// only the fields this driver consumes are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes one package under the go vet tool protocol: read the cfg,
+// type-check the listed files against the export data cmd/go already built,
+// run the analyzers, and leave the (empty — schedlint exports no facts) vetx
+// output behind so cmd/go can cache the result.
+func runVet(cfgPath string, analyzers []*analysis.Analyzer, confPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			// Facts file; schedlint analyzers export none.
+			_ = os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := driver.ExportDataImporter(fset, func(path string) (string, bool) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := driver.CheckFiles(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+
+	conf, err := loadConfig(confPath, cfg.Dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	findings, err := driver.Run([]*driver.Package{pkg}, analyzers, conf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Position, f.Message)
+	}
+	writeVetx()
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -202,6 +202,7 @@ func (h HCPA) Allocate(g *dag.Graph, tab *model.Table) (schedule.Allocation, err
 	}
 	s := cpaCore(g, tab, nil, nil)
 	ref, target := h.ReferenceSpeedGFlops, h.ClusterSpeedGFlops
+	//schedlint:allow floateq -- exact identity short-circuit on two configured speeds, not on computed values: translation is the identity iff they are bit-equal
 	if ref <= 0 || target <= 0 || ref == target {
 		return s, nil
 	}

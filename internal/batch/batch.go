@@ -164,6 +164,7 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 	// virtual sub-cluster of the granted size).
 	ordered := append([]Job(nil), jobs...)
 	sort.SliceStable(ordered, func(i, j int) bool {
+		//schedlint:allow floateq -- exact tie-break: (arrival, job ID) must be a strict total order so FCFS admission is deterministic
 		if ordered[i].Arrival != ordered[j].Arrival {
 			return ordered[i].Arrival < ordered[j].Arrival
 		}

@@ -334,6 +334,8 @@ func (g *Graph) BottomLevels(cost CostFunc) []float64 {
 // allocation when cap(dst) >= NumTasks(), which makes repeated bottom-level
 // computations (one per fitness evaluation) allocation-free; see
 // listsched.Mapper.
+//
+//schedlint:hotpath
 func (g *Graph) BottomLevelsInto(cost CostFunc, dst []float64) []float64 {
 	n := len(g.tasks)
 	if cap(dst) < n {

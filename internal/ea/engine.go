@@ -64,6 +64,7 @@ func (eng *evalEngine) evaluator(w int) Evaluator {
 	return eng.perW[w]
 }
 
+//schedlint:hotpath
 func (eng *evalEngine) lookup(key uint64, a schedule.Allocation) (float64, bool) {
 	for _, e := range eng.cache[key] {
 		if allocsEqual(e.alloc, a) {
@@ -73,11 +74,14 @@ func (eng *evalEngine) lookup(key uint64, a schedule.Allocation) (float64, bool)
 	return 0, false
 }
 
+//schedlint:hotpath
 func (eng *evalEngine) insert(key uint64, a schedule.Allocation, f float64) {
 	eng.cache[key] = append(eng.cache[key], memoEntry{alloc: a, fitness: f})
 }
 
 // hashAlloc is FNV-1a over the alleles, widened to uint64 per position.
+//
+//schedlint:hotpath
 func hashAlloc(a schedule.Allocation) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range a {
@@ -87,6 +91,7 @@ func hashAlloc(a schedule.Allocation) uint64 {
 	return h
 }
 
+//schedlint:hotpath
 func allocsEqual(a, b schedule.Allocation) bool {
 	if len(a) != len(b) {
 		return false
@@ -109,6 +114,8 @@ func allocsEqual(a, b schedule.Allocation) bool {
 // regardless of how its fitness was obtained (the EA's search budget is
 // unchanged by caching); CacheHits counts the subset answered without calling
 // an Evaluator.
+//
+//schedlint:hotpath
 func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *Result) error {
 	n := len(inds)
 
@@ -175,6 +182,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//schedlint:allow hotalloc -- one closure per worker per batch, amortized over the whole generation's evaluations
 			go func(eval Evaluator) {
 				defer wg.Done()
 				for i := range next {

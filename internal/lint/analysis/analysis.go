@@ -1,0 +1,98 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that schedlint's analyzers need.
+//
+// The real x/tools module is deliberately not vendored: the build environment
+// for this repository is offline and the module has no third-party
+// dependencies. The subset implemented here — Analyzer, Pass, Diagnostic, and
+// positional reporting — is API-compatible with x/tools, so every analyzer
+// under internal/lint can be ported to a stock multichecker verbatim if the
+// dependency ever becomes available (see DESIGN.md §9).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name must be a valid identifier; Doc
+// should start with "<name>: " followed by a one-line summary, like vet's
+// analyzers.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run applies the check to one package and reports diagnostics through
+	// pass.Report. The returned value is ignored by the schedlint driver (it
+	// exists for x/tools API compatibility, where analyzers export facts).
+	Run func(*Pass) (interface{}, error)
+}
+
+// Pass is the interface between the driver and one Analyzer.Run application:
+// one type-checked package plus a diagnostic sink.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	End      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ObjectOf is a nil-safe shorthand for TypesInfo.ObjectOf.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.ObjectOf(id)
+}
+
+// TypeOf is a nil-safe shorthand for TypesInfo.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IsPkgFunc reports whether the call expression invokes the package-level
+// function pkgPath.name (e.g. "time", "Now"). It resolves the selector
+// through the type info, so aliased imports are handled.
+func (p *Pass) IsPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	fn := p.CalleeFunc(call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name && !isMethod(fn)
+}
+
+// CalleeFunc returns the *types.Func a call statically resolves to, or nil
+// for calls through function values, built-ins, and conversions.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -1,0 +1,234 @@
+// Package analysistest runs a schedlint analyzer over fixture packages and
+// checks its diagnostics against `// want "regexp"` comments, mirroring the
+// x/tools package of the same name (see internal/lint/analysis for why the
+// real one is not vendored).
+//
+// Fixtures live in testdata/src/<pkg>/*.go and may import the standard
+// library only; their dependencies are type-checked from compiler export data
+// materialized on demand with `go list -export`.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"emts/internal/lint/analysis"
+	"emts/internal/lint/driver"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run applies the analyzer to each fixture package under dir/src and reports
+// every mismatch between actual diagnostics and want comments as a test
+// error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPackage(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", importPath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", importPath, dir)
+	}
+
+	fset := token.NewFileSet()
+	imp := driver.ExportDataImporter(fset, stdExportLookup(t, dir, files))
+	pkg, err := driver.CheckFiles(fset, imp, importPath, dir, files)
+	if err != nil {
+		t.Fatalf("%s: %v", importPath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			k := key{filepath.Base(pos.Filename), pos.Line}
+			got[k] = append(got[k], d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer failed: %v", importPath, err)
+	}
+
+	want := make(map[key][]*regexp.Regexp)
+	for i, f := range pkg.Syntax {
+		base := filepath.Base(pkg.Files[i])
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, perr := parseWant(c.Text)
+				if perr != nil {
+					t.Errorf("%s:%d: %v", base, fset.Position(c.Pos()).Line, perr)
+					continue
+				}
+				if len(patterns) > 0 {
+					k := key{base, fset.Position(c.Pos()).Line}
+					want[k] = append(want[k], patterns...)
+				}
+			}
+		}
+	}
+
+	// Match wants against diagnostics per line.
+	var keys []key
+	seen := make(map[key]bool)
+	for k := range got {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			keys = append(keys, k)
+			seen[k] = true
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		diags := append([]string(nil), got[k]...)
+		for _, re := range want[k] {
+			idx := -1
+			for i, d := range diags {
+				if re.MatchString(d) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s/%s:%d: no diagnostic matching %q", importPath, k.file, k.line, re)
+				continue
+			}
+			diags = append(diags[:idx], diags[idx+1:]...)
+		}
+		for _, d := range diags {
+			t.Errorf("%s/%s:%d: unexpected diagnostic: %s", importPath, k.file, k.line, d)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a `// want "..." "..."` comment.
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	text := strings.TrimPrefix(comment, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			return nil, fmt.Errorf("want: expected quoted regexp, got %q", rest)
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("want: %v in %q", err, rest)
+		}
+		s, _ := strconv.Unquote(q)
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("want: bad regexp %q: %v", s, err)
+		}
+		out = append(out, re)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return out, nil
+}
+
+// stdExportLookup returns a resolver for the fixture files' (transitive,
+// standard-library) imports, materializing export data via `go list -export`.
+func stdExportLookup(t *testing.T, dir string, files []string) func(string) (string, bool) {
+	t.Helper()
+	direct := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parsing fixture %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			direct[p] = true
+		}
+	}
+	exports := make(map[string]string)
+	if len(direct) > 0 {
+		args := []string{"list", "-deps", "-export", "-json=ImportPath,Export"}
+		var paths []string
+		for p := range direct {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args = append(args, paths...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("go list -export %v: %v\n%s", paths, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("decoding go list output: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	}
+}

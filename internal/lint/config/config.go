@@ -1,0 +1,192 @@
+// Package config holds schedlint's suppression machinery: the repo-level
+// .schedlint.conf allowlist and the inline `//schedlint:allow` directive.
+//
+// Suppressions are deliberately two-tier. The conf file scopes whole files or
+// trees ("timing-report code may read the wall clock"); the inline directive
+// grants a single line an exemption and forces the author to record why
+// ("exact float compare is a deterministic tie-break"). Every other
+// occurrence is an error — the invariants the analyzers encode are what make
+// the paper-reproduction runs trustworthy, so the default is deny.
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultFile is the conf file name looked up at the module root.
+const DefaultFile = ".schedlint.conf"
+
+// Config is a parsed allowlist.
+type Config struct {
+	// BaseDir anchors the relative path patterns (the module root).
+	BaseDir string
+	rules   []rule
+}
+
+type rule struct {
+	analyzer string // analyzer name or "*"
+	pattern  string // slash-separated path glob, or "dir/..." prefix
+}
+
+// Parse reads a conf file. Lines are `allow <analyzer|*> <path-pattern>`;
+// blank lines and #-comments are ignored. Patterns are matched against the
+// slash-separated path of the offending file relative to BaseDir, either as a
+// path.Match glob (per path element semantics do not apply: the glob is
+// matched against the whole relative path) or, when the pattern ends in
+// "/...", as a directory-prefix rule in the go tool's style.
+func Parse(file string) (*Config, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cfg := &Config{BaseDir: filepath.Dir(file)}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "allow" {
+			return nil, fmt.Errorf("%s:%d: want `allow <analyzer|*> <path-pattern>`, got %q", file, lineno, line)
+		}
+		if _, err := path.Match(strings.TrimSuffix(fields[2], "/..."), ""); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", file, lineno, fields[2], err)
+		}
+		cfg.rules = append(cfg.rules, rule{analyzer: fields[1], pattern: fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Empty returns a Config with no rules, anchored at baseDir.
+func Empty(baseDir string) *Config { return &Config{BaseDir: baseDir} }
+
+// Allows reports whether diagnostics of the named analyzer are suppressed for
+// the given file (absolute or BaseDir-relative path).
+func (c *Config) Allows(analyzer, file string) bool {
+	if c == nil {
+		return false
+	}
+	rel := file
+	if filepath.IsAbs(file) && c.BaseDir != "" {
+		if r, err := filepath.Rel(c.BaseDir, file); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+	}
+	rel = filepath.ToSlash(rel)
+	for _, r := range c.rules {
+		if r.analyzer != "*" && r.analyzer != analyzer {
+			continue
+		}
+		if prefix, ok := strings.CutSuffix(r.pattern, "/..."); ok {
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if ok, _ := path.Match(r.pattern, rel); ok {
+			return true
+		}
+		// Also match against the bare file name so `*_test.go`-style rules
+		// work regardless of directory depth.
+		if ok, _ := path.Match(r.pattern, path.Base(rel)); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// allowPrefix introduces an inline suppression comment:
+//
+//	//schedlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// A trailing comment suppresses its own line; a comment alone on a line
+// suppresses the next line. The reason after " -- " is mandatory: an allow
+// without a recorded justification is itself reported by the driver.
+const allowPrefix = "//schedlint:allow"
+
+// Suppressions indexes the inline allow directives of one file.
+type Suppressions struct {
+	// byLine maps a source line to the analyzer names allowed there.
+	byLine map[int]map[string]bool
+	// bad holds positions of malformed directives (missing reason/analyzers).
+	bad []token.Pos
+}
+
+// CollectSuppressions scans a parsed file's comments for inline directives.
+func CollectSuppressions(fset *token.FileSet, f *ast.File) *Suppressions {
+	s := &Suppressions{byLine: make(map[int]map[string]bool)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			spec, reason, hasReason := strings.Cut(text, " -- ")
+			names := strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+			if !hasReason || strings.TrimSpace(reason) == "" || len(names) == 0 {
+				s.bad = append(s.bad, c.Pos())
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			line := pos.Line
+			// A directive alone on its line applies to the following line.
+			if startsLine(fset, f, c) {
+				line++
+			}
+			set := s.byLine[line]
+			if set == nil {
+				set = make(map[string]bool)
+				s.byLine[line] = set
+			}
+			for _, n := range names {
+				set[strings.TrimSpace(n)] = true
+			}
+		}
+	}
+	return s
+}
+
+// startsLine reports whether the comment is the first token on its line.
+func startsLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	pos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && n.Pos() < c.Pos() && fset.Position(n.Pos()).Line == pos.Line {
+			if _, isFile := n.(*ast.File); !isFile {
+				first = false
+			}
+		}
+		return first
+	})
+	return first
+}
+
+// Allows reports whether the named analyzer is suppressed on the line.
+func (s *Suppressions) Allows(analyzer string, line int) bool {
+	return s != nil && s.byLine[line][analyzer]
+}
+
+// Malformed returns positions of directives missing analyzers or a reason.
+func (s *Suppressions) Malformed() []token.Pos {
+	if s == nil {
+		return nil
+	}
+	return s.bad
+}

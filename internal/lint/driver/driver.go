@@ -1,0 +1,82 @@
+// Package driver loads packages and applies schedlint analyzers to them,
+// filtering the raw diagnostics through the repo allowlist and the inline
+// `//schedlint:allow` directives.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"emts/internal/lint/analysis"
+	"emts/internal/lint/config"
+)
+
+// Finding is one post-filter diagnostic.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. cfg may be nil (no file-level allowlist).
+// Malformed inline directives are reported as findings of the pseudo-analyzer
+// "schedlint" so a typo cannot silently suppress nothing.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := make(map[string]*config.Suppressions, len(pkg.Files))
+		for i, f := range pkg.Syntax {
+			s := config.CollectSuppressions(pkg.Fset, f)
+			sup[pkg.Files[i]] = s
+			for _, pos := range s.Malformed() {
+				findings = append(findings, Finding{
+					Analyzer: "schedlint",
+					Position: pkg.Fset.Position(pos),
+					Message:  "malformed //schedlint:allow directive: want `//schedlint:allow <analyzer>[,...] -- <reason>`",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if cfg.Allows(a.Name, pos.Filename) {
+					return
+				}
+				if sup[pos.Filename].Allows(a.Name, pos.Line) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

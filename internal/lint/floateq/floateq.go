@@ -1,0 +1,71 @@
+// Package floateq flags == and != between floating-point values.
+//
+// Makespans, bottom levels, and execution times are float64 sums of float64
+// products; two mathematically equal schedules can differ in the last ulp
+// depending on summation order, so exact comparison silently encodes an
+// order-of-operations assumption. Comparisons belong in the epsilon helpers
+// of internal/stats (stats.ApproxEqual / stats.ApproxEqualTol, allowlisted in
+// .schedlint.conf). The deliberate exceptions — deterministic tie-breaks that
+// *want* bit equality, like the mapper's (bottom level, task ID) order — must
+// carry an inline `//schedlint:allow floateq -- <reason>` so the intent is
+// recorded at the comparison site.
+//
+// Comparisons with a compile-time constant operand (`if ms == 0`,
+// `if p == 0.5`) are exempt: they are guards against exactly representable
+// sentinels, not equality between computed quantities.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"emts/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "floateq: flag ==/!= on floating-point values outside the internal/stats epsilon helpers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypeOf(be.X)) || !isFloat(pass.TypeOf(be.Y)) {
+				return true
+			}
+			// Comparisons against compile-time constants are exempt: exact
+			// zero guards (`if makespan == 0` before dividing) and
+			// special-case shortcuts (`if p == 0.5`) compare against exactly
+			// representable values that arise from initialization, not from
+			// accumulated arithmetic. The dangerous case — two computed
+			// values expected to agree — always has variables on both sides.
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison: use stats.ApproxEqual, or annotate a deliberate exact tie-break with //schedlint:allow floateq", be.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

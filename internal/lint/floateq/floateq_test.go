@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floateq.Analyzer, "a")
+}

@@ -1,0 +1,31 @@
+// Fixture for the floateq analyzer.
+package a
+
+type makespan float64
+
+func compare(a, b float64, m, n makespan, i, j int) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	// Constant-operand guards are exempt: exactly representable sentinels.
+	if a != 0 {
+		return false
+	}
+	if b == 0.5 {
+		return false
+	}
+	if m == n { // want `floating-point == comparison`
+		return true
+	}
+	// Integer equality is exact; not flagged.
+	if i == j {
+		return true
+	}
+	// Ordering comparisons are meaningful on floats; not flagged.
+	return a < b || a >= b
+}
+
+// Constant comparisons are decided at compile time; not flagged.
+const eps = 1e-9
+
+var exact = eps == 1e-9

@@ -1,0 +1,249 @@
+// Package hotalloc guards the zero-allocation contract of functions marked
+// with a `//schedlint:hotpath` doc-comment line.
+//
+// PR 1 made the fitness path (listsched.Mapper, ea.evalEngine) allocation-
+// free on the warm path, and bench_test.go asserts it dynamically — but only
+// for the code shapes the benchmark happens to execute. This analyzer pins
+// the property statically for every marked function by flagging the four
+// constructs that quietly reintroduce per-call allocations:
+//
+//   - calls into package fmt (formatting boxes every operand),
+//   - interface conversions, explicit or implicit at call boundaries
+//     (boxing escapes to the heap for non-pointer-shaped values),
+//   - closures that capture variables (the closure and its captures
+//     allocate),
+//   - append to a slice declared in-function without capacity (growth
+//     reallocates on every call instead of reusing an arena).
+//
+// Cold paths inside a hot function (error returns, once-per-run setup) carry
+// an inline `//schedlint:allow hotalloc -- <reason>`.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"emts/internal/lint/analysis"
+)
+
+// Marker is the doc-comment line that opts a function into the check.
+const Marker = "//schedlint:hotpath"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "hotalloc: flag allocating constructs inside //schedlint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			if cap := capturedVar(pass, e, fn); cap != "" {
+				pass.Reportf(e.Pos(),
+					"hot path %s: closure captures %s and allocates per call; hoist it or pass state explicitly", name, cap)
+			}
+			return false // the literal's own body is not the hot path
+		case *ast.CallExpr:
+			checkCall(pass, e, fn, name)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, fn *ast.FuncDecl, name string) {
+	// Explicit conversion to an interface type: T -> interface boxes.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !types.IsInterface(pass.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "hot path %s: conversion to %s boxes the operand", name, tv.Type.String())
+		}
+		return
+	}
+	if callee := pass.CalleeFunc(call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hot path %s: fmt.%s formats through interfaces and allocates", name, callee.Name())
+		return
+	}
+	if isBuiltinAppend(pass, call) {
+		checkAppend(pass, call, fn, name)
+		return
+	}
+	// Implicit boxing: concrete argument passed for an interface parameter.
+	sig, ok := typeUnder(pass.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"hot path %s: argument boxes %s into %s", name, at.String(), pt.String())
+	}
+}
+
+// paramType resolves the parameter type for argument i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// checkAppend flags appends whose base slice is declared in this function
+// without preallocated capacity.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, fn *ast.FuncDecl, name string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.ObjectOf(base)
+	if obj == nil || obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+		return // parameter/field/outer state: caller controls capacity
+	}
+	if noCapacity(pass, fn, obj) {
+		pass.Reportf(call.Pos(),
+			"hot path %s: append to %s, declared without capacity; preallocate with make(len, cap) or reuse an arena", name, base.Name)
+	}
+}
+
+// noCapacity reports whether the variable's declaration provably starts with
+// zero spare capacity: `var x []T`, `x := []T{}`, or 2-argument make.
+func noCapacity(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	result := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.ValueSpec:
+			for i, nm := range d.Names {
+				if pass.ObjectOf(nm) != obj {
+					continue
+				}
+				if len(d.Values) == 0 {
+					result = true // var x []T
+				} else if i < len(d.Values) {
+					result = initHasNoCapacity(pass, d.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range d.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.TypesInfo.Defs[id] != obj {
+					continue
+				}
+				if len(d.Rhs) == len(d.Lhs) {
+					result = initHasNoCapacity(pass, d.Rhs[i])
+				}
+			}
+		}
+		return true
+	})
+	return result
+}
+
+func initHasNoCapacity(pass *analysis.Pass, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "make" {
+				return len(e.Args) < 3 // make([]T, n): len but no spare cap
+			}
+		}
+	}
+	return false
+}
+
+// capturedVar returns the name of a variable the closure captures from the
+// enclosing function, or "" if it captures nothing.
+func capturedVar(pass *analysis.Pass, lit *ast.FuncLit, fn *ast.FuncDecl) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside the
+		// literal. Package-level variables are direct references, not
+		// captures.
+		if v.Pos() >= fn.Pos() && v.Pos() < lit.Pos() {
+			captured = v.Name()
+		}
+		return true
+	})
+	return captured
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

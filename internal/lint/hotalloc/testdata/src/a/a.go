@@ -1,0 +1,55 @@
+// Fixture for the hotalloc analyzer.
+package a
+
+import "fmt"
+
+// hot is the instrumented fitness kernel stand-in.
+//
+//schedlint:hotpath
+func hot(xs []float64, n int) float64 {
+	_ = fmt.Sprintf("%d", n) // want `fmt\.Sprintf formats through interfaces and allocates`
+
+	var out []float64
+	out = append(out, 1) // want `append to out, declared without capacity`
+
+	grow := make([]float64, 0)
+	grow = append(grow, 2) // want `append to grow, declared without capacity`
+
+	lit := []float64{}
+	lit = append(lit, 3) // want `append to lit, declared without capacity`
+
+	sized := make([]float64, 0, n)
+	sized = append(sized, 4) // preallocated: not flagged
+
+	total := 0.0
+	add := func() { total += xs[0] } // want `closure captures`
+	add()
+
+	_ = interface{}(n) // want `conversion to interface\{\} boxes the operand`
+
+	box(n) // want `argument boxes int into interface\{\}`
+
+	_ = out
+	_ = grow
+	_ = lit
+	_ = sized
+	return total
+}
+
+// cold is unmarked: the same constructs pass.
+func cold(n int) string {
+	var out []int
+	out = append(out, n)
+	f := func() int { return n }
+	return fmt.Sprintf("%d-%d", out[0], f())
+}
+
+// hotAppendToParam appends to caller-owned storage: capacity is the caller's
+// contract, not this function's.
+//
+//schedlint:hotpath
+func hotAppendToParam(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+func box(v interface{}) {}

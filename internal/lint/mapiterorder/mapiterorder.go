@@ -1,0 +1,309 @@
+// Package mapiterorder flags `range` over maps whose iteration order can
+// escape into results.
+//
+// Go randomizes map iteration order per run, so any value that depends on it
+// — a slice built by appends, text written to a builder, a "first match
+// wins" assignment — differs between two executions of the same seed. In
+// this repository that breaks the core contract that equal seeds give
+// bit-identical schedules, histories, and report files.
+//
+// The analyzer is deliberately semantic, not syntactic: order-independent
+// uses of map ranges stay legal. It permits
+//
+//   - pure reads and writes keyed by the iteration variable (out[k] = f(v)),
+//   - commutative reductions via compound assignment (sum += v, n++),
+//   - strict min/max tracking (if v < best { best = v }), where the reduced
+//     value is order-independent even though the visit order is not,
+//   - key collection that is sorted before use (append then sort.Strings).
+//
+// It reports
+//
+//   - appends to outer slices with no subsequent sort of that slice,
+//   - ordered output from inside the loop (fmt.Fprintf, Builder.WriteString,
+//     io writes),
+//   - plain assignments to outer variables and returns that mention the
+//     iteration state: which element wins depends on map order. This
+//     includes argmin/argmax tracking (if v < best { best = v; bestK = k }) —
+//     the min is deterministic, but on ties the *arg* is not.
+package mapiterorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"emts/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiterorder",
+	Doc:  "mapiterorder: flag range-over-map loops whose iteration order escapes into results",
+	Run:  run,
+}
+
+// checker carries the per-file indexes one run needs.
+type checker struct {
+	pass *analysis.Pass
+	// guardOf maps an assignment to the if statement whose single-statement
+	// body it is, so the strict-extremum pattern can find its guard without
+	// general parent tracking.
+	guardOf map[*ast.AssignStmt]*ast.IfStmt
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		c := &checker{pass: pass, guardOf: make(map[*ast.AssignStmt]*ast.IfStmt)}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range ifStmt.Body.List {
+				if as, ok := stmt.(*ast.AssignStmt); ok {
+					c.guardOf[as] = ifStmt
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				rs, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := typeUnder(pass.TypeOf(rs.X)).(*types.Map); !isMap {
+					return true
+				}
+				c.checkRange(rs, body)
+				return true
+			})
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// checkRange analyzes one range-over-map statement. funcBody is the enclosing
+// function body, searched for post-loop sorts of appended slices.
+func (c *checker) checkRange(rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	pass := c.pass
+	iterVars := c.rangeVarObjects(rs)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := c.orderedOutputCall(st); ok {
+				pass.Reportf(st.Pos(),
+					"map iteration order reaches ordered output via %s: iterate over sorted keys instead", name)
+			}
+		case *ast.AssignStmt:
+			c.checkAssign(st, rs, funcBody, iterVars)
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if c.mentionsAny(res, iterVars) {
+					pass.Reportf(st.Pos(),
+						"return inside range-over-map mentions the iteration variable: which element returns first depends on map order")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rangeVarObjects returns the objects of the loop's key/value variables.
+func (c *checker) rangeVarObjects(rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := c.pass.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkAssign classifies one assignment inside the loop body.
+func (c *checker) checkAssign(st *ast.AssignStmt, rs *ast.RangeStmt, funcBody *ast.BlockStmt, iterVars map[types.Object]bool) {
+	// Compound assignments (sum += v, n |= x) are commutative-ish reductions;
+	// the repo accepts the float-addition caveat in exchange for not flagging
+	// every accumulator. Plain = is examined below.
+	if st.Tok != token.ASSIGN {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue // out[k] = v and field writes are keyed, not ordered
+		}
+		obj := c.pass.ObjectOf(id)
+		if obj == nil || !declaredOutside(obj, rs) {
+			continue
+		}
+		rhs := st.Rhs[0]
+		if len(st.Rhs) == len(st.Lhs) {
+			rhs = st.Rhs[i]
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isBuiltinAppend(call) {
+			if !c.sortedAfter(obj, rs, funcBody) {
+				c.pass.Reportf(st.Pos(),
+					"append to %s inside range-over-map with no subsequent sort: element order depends on map iteration", id.Name)
+			}
+			continue
+		}
+		if !c.mentionsAny(rhs, iterVars) && !c.dependsOnLoop(rhs, rs) {
+			continue // assigning something loop-invariant; last-wins is still the same value
+		}
+		if c.isStrictExtremum(st, id, rhs) {
+			continue // if v < best { best = v }: the extremum is order-independent
+		}
+		c.pass.Reportf(st.Pos(),
+			"assignment to %s inside range-over-map depends on iteration order: which element wins is nondeterministic", id.Name)
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement (i.e. it survives the loop).
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// mentionsAny reports whether expr references one of the given objects.
+func (c *checker) mentionsAny(expr ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[c.pass.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// dependsOnLoop reports whether expr references any variable declared inside
+// the loop (which transitively carries the iteration variables).
+func (c *checker) dependsOnLoop(expr ast.Expr, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return !found
+		}
+		if obj := c.pass.ObjectOf(id); obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isStrictExtremum recognizes the order-independent min/max pattern: the
+// assignment sits directly in an if body whose guard is a strict < or >
+// comparing the assigned variable with the assigned expression. Non-strict
+// guards (<=, >=) stay flagged: they make ties last-wins, which map order
+// decides. In argmin tracking (if v < best { best = v; bestK = k }) the
+// carve-out applies to `best = v` only — `bestK = k` is still reported,
+// because on a fitness tie the winning key is whichever the runtime visits
+// first.
+func (c *checker) isStrictExtremum(st *ast.AssignStmt, lhs *ast.Ident, rhs ast.Expr) bool {
+	ifStmt, ok := c.guardOf[st]
+	if !ok || ifStmt.Else != nil {
+		return false
+	}
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.GTR) {
+		return false
+	}
+	l, r := types.ExprString(cond.X), types.ExprString(cond.Y)
+	a, b := types.ExprString(rhs), lhs.Name
+	return (l == a && r == b) || (l == b && r == a)
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func (c *checker) isBuiltinAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// orderedOutputCall reports whether the call writes to an ordered sink:
+// fmt printing, builder/buffer/writer Write methods.
+func (c *checker) orderedOutputCall(call *ast.CallExpr) (string, bool) {
+	fn := c.pass.CalleeFunc(call)
+	if fn == nil {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print")) {
+		return "fmt." + fn.Name(), true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && strings.HasPrefix(fn.Name(), "Write") {
+		return recvTypeName(sig) + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}
+
+// sortedAfter reports whether a sort/slices call mentioning obj appears in
+// the enclosing function after the range statement.
+func (c *checker) sortedAfter(obj types.Object, rs *ast.RangeStmt, funcBody *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return !found
+		}
+		fn := c.pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil {
+			return !found
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if c.mentionsAny(arg, map[types.Object]bool{obj: true}) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

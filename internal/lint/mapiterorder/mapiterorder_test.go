@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/mapiterorder"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mapiterorder.Analyzer, "a")
+}

@@ -1,0 +1,111 @@
+// Fixture for the mapiterorder analyzer.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// unsortedKeys leaks map order into the returned slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range-over-map with no subsequent sort`
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom; not flagged.
+func sortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// printLoop writes in map order.
+func printLoop(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `ordered output via fmt\.Fprintf`
+		sb.WriteString(k)                // want `ordered output via Builder\.WriteString`
+	}
+}
+
+// firstMatch returns an arbitrary element.
+func firstMatch(m map[string]int) (string, bool) {
+	for k, v := range m {
+		if v > 10 {
+			return k, true // want `which element returns first depends on map order`
+		}
+	}
+	return "", false
+}
+
+// lastWins keeps whichever key the runtime visits last.
+func lastWins(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `assignment to last inside range-over-map depends on iteration order`
+	}
+	return last
+}
+
+// argmin: the minimum value is deterministic, the arg on ties is not.
+func argmin(m map[string]int) (string, int) {
+	bestK, best := "", 1<<62
+	for k, v := range m {
+		if v < best {
+			best = v
+			bestK = k // want `assignment to bestK inside range-over-map`
+		}
+	}
+	return bestK, best
+}
+
+// reductions are order-independent; not flagged.
+func sum(m map[string]float64) float64 {
+	total := 0.0
+	n := 0
+	for _, v := range m {
+		total += v
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total
+}
+
+// strict min tracking is order-independent; not flagged.
+func minValue(m map[string]float64) float64 {
+	lo := 1e308
+	for _, v := range m {
+		if v < lo {
+			lo = v
+		}
+	}
+	return lo
+}
+
+// non-strict guard makes ties last-wins; flagged.
+func minValueTieLastWins(m map[string]float64) float64 {
+	lo := 1e308
+	for _, v := range m {
+		if v <= lo {
+			lo = v // want `assignment to lo inside range-over-map`
+		}
+	}
+	return lo
+}
+
+// keyed writes are order-independent; not flagged.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package norandglobal forbids the process-global math/rand state.
+//
+// Every stochastic choice in this repository — DAG generation, EA mutation,
+// random seeding of the initial population — must flow through an injected
+// *rand.Rand built from an explicit seed, because equal seeds must give
+// bit-identical runs (DESIGN.md §9). Package-level math/rand functions
+// (rand.Intn, rand.Float64, rand.Shuffle, ...) consult a shared, racy,
+// auto-seeded source, and math/rand/v2's package-level functions are seeded
+// from runtime entropy with no way to pin them at all. Seeding an injected
+// source from the wall clock (rand.NewSource(time.Now().UnixNano())) is the
+// same bug with extra steps, so it is rejected too.
+package norandglobal
+
+import (
+	"go/ast"
+	"go/types"
+
+	"emts/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "norandglobal",
+	Doc:  "norandglobal: forbid global math/rand state; randomness must flow through an injected *rand.Rand",
+	Run:  run,
+}
+
+// constructors are the only package-level math/rand functions that do not
+// touch the global source: they build the injected generators the repo
+// standardizes on.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "math/rand" && pkg != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an injected generator (e.g. (*rand.Rand).Intn) — the sanctioned form
+			}
+			switch {
+			case !constructors[fn.Name()]:
+				pass.Reportf(call.Pos(),
+					"call to global %s.%s: pass an injected *rand.Rand built from an explicit seed instead", pkgBase(pkg), fn.Name())
+			case fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8":
+				if wallClockSeeded(pass, call) {
+					pass.Reportf(call.Pos(),
+						"%s.%s seeded from the wall clock: seeds must be explicit so equal seeds give equal runs", pkgBase(pkg), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// wallClockSeeded reports whether any argument subtree reads the wall clock
+// (time.Now and derivatives like time.Now().UnixNano()).
+func wallClockSeeded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if ok && pass.IsPkgFunc(inner, "time", "Now") {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+func pkgBase(path string) string {
+	if path == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

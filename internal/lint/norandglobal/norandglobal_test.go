@@ -1,0 +1,12 @@
+package norandglobal_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/norandglobal"
+)
+
+func TestNoRandGlobal(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), norandglobal.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Fixture for the norandglobal analyzer.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globals() {
+	_ = rand.Int()                     // want `call to global rand.Int`
+	_ = rand.Intn(10)                  // want `call to global rand.Intn`
+	_ = rand.Float64()                 // want `call to global rand.Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `call to global rand.Shuffle`
+	rand.Seed(42)                      // want `call to global rand.Seed`
+	_ = rand.Perm(4)                   // want `call to global rand.Perm`
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// injected is the sanctioned pattern: explicit seed, methods on the instance.
+func injected(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(2) == 0 {
+		return rng.NormFloat64()
+	}
+	return rng.Float64()
+}
+
+func passedThrough(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}

@@ -1,0 +1,47 @@
+// Package nowallclock forbids reading the wall clock.
+//
+// Simulated time is the only time that exists inside the scheduler: schedules
+// are functions of task costs, not of when the host happened to run the code.
+// A time.Now leaking into scheduling or fitness logic makes runs
+// irreproducible in a way no seed can fix. The only sanctioned readers are
+// the timing-report paths (the Section V-B run-time table and the CLI's
+// elapsed-time reporting), which are allowlisted by file in .schedlint.conf —
+// not by this analyzer — so new call sites are deny-by-default.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"emts/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "nowallclock: forbid time.Now/Since/Until outside allowlisted timing-report files",
+	Run:  run,
+}
+
+// banned are the time-package functions that read the wall clock. Timer and
+// ticker constructors are left to the race detector and code review: they
+// block on real time but do not put a timestamp into scheduling data.
+var banned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"wall-clock read time.%s: schedulers must be functions of their inputs; allowlist timing-report files in .schedlint.conf", fn.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/nowallclock"
+)
+
+func TestNoWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nowallclock.Analyzer, "a")
+}

@@ -1,0 +1,23 @@
+// Fixture for the nowallclock analyzer.
+package a
+
+import "time"
+
+func timed() time.Duration {
+	start := time.Now() // want `wall-clock read time\.Now`
+	work()
+	return time.Since(start) // want `wall-clock read time\.Since`
+}
+
+func deadline(d time.Time) time.Duration {
+	return time.Until(d) // want `wall-clock read time\.Until`
+}
+
+// Durations, formatting, and parsing are fine: they are pure values.
+func pure() (time.Duration, error) {
+	d := 3 * time.Second
+	_, err := time.ParseDuration("1h")
+	return d, err
+}
+
+func work() {}

@@ -1,0 +1,46 @@
+// Package lint registers the schedlint analyzer suite: the statically
+// enforced determinism and hot-path invariants of this repository.
+// DESIGN.md §9 documents each analyzer and the methodology argument behind
+// it; cmd/schedlint is the multichecker binary.
+package lint
+
+import (
+	"emts/internal/lint/analysis"
+	"emts/internal/lint/floateq"
+	"emts/internal/lint/hotalloc"
+	"emts/internal/lint/mapiterorder"
+	"emts/internal/lint/norandglobal"
+	"emts/internal/lint/nowallclock"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		floateq.Analyzer,
+		hotalloc.Analyzer,
+		mapiterorder.Analyzer,
+		norandglobal.Analyzer,
+		nowallclock.Analyzer,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; an empty selection
+// means all.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	if len(names) == 0 {
+		return Analyzers(), true
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -62,6 +62,8 @@ func NewMapper(g *dag.Graph, tab *model.Table) (*Mapper, error) {
 // Makespan maps the allocation and returns only the resulting makespan — the
 // fitness function F of Section III-A. No schedule object is materialized and
 // no heap memory is allocated on the success path.
+//
+//schedlint:hotpath
 func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
 	return m.mapLoop(alloc, Options{SkipProcSets: true}, nil)
 }
@@ -71,6 +73,8 @@ func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
 // final makespan exceeds rejectAbove (when positive). Because that lower
 // bound is exact at the task achieving the makespan, rejection fires if and
 // only if the final makespan would exceed the bound.
+//
+//schedlint:hotpath
 func (m *Mapper) MakespanBounded(alloc schedule.Allocation, rejectAbove float64) (float64, error) {
 	return m.mapLoop(alloc, Options{SkipProcSets: true, RejectAbove: rejectAbove}, nil)
 }
@@ -101,6 +105,8 @@ func (m *Mapper) MapWithOptions(alloc schedule.Allocation, opt Options) (*schedu
 //
 // When entries is non-nil, one Entry per task is recorded there; otherwise
 // only the makespan is tracked (the fitness path).
+//
+//schedlint:hotpath
 func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
 	g, tab := m.g, m.tab
 	if err := alloc.Validate(g, m.procs); err != nil {
@@ -190,6 +196,7 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 		i, j := 0, 0
 		for i < len(chosen) && j < len(rest) {
 			a, r := chosen[i], rest[j]
+			//schedlint:allow floateq -- exact tie-break: equal availability resolves by processor index, which is what makes "the first processor set" deterministic
 			if avail[a] < avail[r] || (avail[a] == avail[r] && a < r) {
 				merged = append(merged, a)
 				i++
@@ -214,6 +221,7 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 	}
 
 	if placed != n {
+		//schedlint:allow hotalloc -- cold error path: fires once per run on a cyclic graph, never on the fitness path
 		return 0, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
 	}
 	return makespan, nil
@@ -235,13 +243,17 @@ func (h *blHeap) len() int { return len(h.items) }
 
 // before reports whether task a runs before task b: larger bottom level
 // first, smaller ID on ties.
+//
+//schedlint:hotpath
 func (h *blHeap) before(a, b dag.TaskID) bool {
+	//schedlint:allow floateq -- exact tie-break: (bottom level desc, ID asc) must be a strict total order for the pop sequence to be schedule-preserving
 	if h.bl[a] != h.bl[b] {
 		return h.bl[a] > h.bl[b]
 	}
 	return a < b
 }
 
+//schedlint:hotpath
 func (h *blHeap) push(v dag.TaskID) {
 	h.items = append(h.items, v)
 	i := len(h.items) - 1
@@ -255,6 +267,7 @@ func (h *blHeap) push(v dag.TaskID) {
 	}
 }
 
+//schedlint:hotpath
 func (h *blHeap) pop() dag.TaskID {
 	top := h.items[0]
 	last := len(h.items) - 1

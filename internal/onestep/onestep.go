@@ -151,6 +151,7 @@ func (q *taskQueue) Len() int { return len(q.items) }
 
 func (q *taskQueue) Less(i, j int) bool {
 	a, b := q.items[i], q.items[j]
+	//schedlint:allow floateq -- exact tie-break: (bottom level desc, ID asc) keeps the priority queue a strict total order
 	if q.bl[a] != q.bl[b] {
 		return q.bl[a] > q.bl[b]
 	}

@@ -56,6 +56,7 @@ func (s *Schedule) Events() []Event {
 		evs = append(evs, Event{Time: e.End, Task: e.Task, Start: false, Procs: len(e.Procs)})
 	}
 	sort.SliceStable(evs, func(i, j int) bool {
+		//schedlint:allow floateq -- exact tie-break: events at bit-equal times order (completion, task ID) so playback is deterministic
 		if evs[i].Time != evs[j].Time {
 			return evs[i].Time < evs[j].Time
 		}

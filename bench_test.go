@@ -504,7 +504,8 @@ func BenchmarkTimeTableBuild(b *testing.B) {
 
 // emtsInstanceBench measures one complete EMTS optimization of a 100-task
 // PTG on Grelon — the unit of the run-time table — and reports the fraction
-// of fitness evaluations answered by the memoization cache.
+// of fitness evaluations answered by the memoization cache and the fraction
+// cut short by the admissible lower-bound prefilter.
 func emtsInstanceBench(b *testing.B, mkParams func(int64) core.Params) {
 	g, tab, _ := benchInstance(b)
 	b.ResetTimer()
@@ -515,24 +516,57 @@ func emtsInstanceBench(b *testing.B, mkParams func(int64) core.Params) {
 		}
 		if i == 0 && res.Evaluations > 0 {
 			b.ReportMetric(float64(res.CacheHits)/float64(res.Evaluations), "cache_hit_rate")
+			b.ReportMetric(float64(res.PrefilterRejections)/float64(res.Evaluations), "prefilter_reject_rate")
 		}
 	}
 }
 
+// withRejection enables the Section VI rejection strategy — the setting the
+// layered fast path (DESIGN.md §10) targets, and since PR 3 the headline
+// configuration of the instance benchmarks.
+func withRejection(mk func(int64) core.Params) func(int64) core.Params {
+	return func(seed int64) core.Params {
+		p := mk(seed)
+		p.UseRejection = true
+		return p
+	}
+}
+
 // BenchmarkEMTS5Instance measures one complete EMTS5 optimization of a
-// 100-task PTG on Grelon — the unit of the run-time table.
-func BenchmarkEMTS5Instance(b *testing.B) { emtsInstanceBench(b, core.EMTS5) }
+// 100-task PTG on Grelon — the unit of the run-time table — with the
+// rejection strategy enabled.
+func BenchmarkEMTS5Instance(b *testing.B) { emtsInstanceBench(b, withRejection(core.EMTS5)) }
 
 // BenchmarkEMTS10Instance measures one complete EMTS10 optimization.
-func BenchmarkEMTS10Instance(b *testing.B) { emtsInstanceBench(b, core.EMTS10) }
+func BenchmarkEMTS10Instance(b *testing.B) { emtsInstanceBench(b, withRejection(core.EMTS10)) }
+
+// BenchmarkEMTS5InstanceNoRejection is the pre-PR 3 headline workload: no
+// rejection bound, so neither the prefilter nor in-loop rejection can fire
+// and only memoization and delta bottom levels help.
+func BenchmarkEMTS5InstanceNoRejection(b *testing.B) { emtsInstanceBench(b, core.EMTS5) }
+
+// BenchmarkEMTS5InstanceNoFastPath is the A/B control for DESIGN.md §10:
+// rejection enabled but the lower-bound prefilter and delta bottom levels
+// switched off — the PR 2 evaluation engine on today's workload.
+func BenchmarkEMTS5InstanceNoFastPath(b *testing.B) {
+	emtsInstanceBench(b, func(seed int64) core.Params {
+		p := core.EMTS5(seed)
+		p.UseRejection = true
+		p.DisablePrefilter = true
+		p.DisableDelta = true
+		return p
+	})
+}
 
 // BenchmarkEMTS5InstanceNoCache is the A/B control: the same optimization
-// with the memoized, arena-reusing evaluation engine disabled.
+// with the memoized, arena-reusing evaluation engine (and with it the
+// delta-evaluation path) disabled.
 func BenchmarkEMTS5InstanceNoCache(b *testing.B) {
 	g, tab, _ := benchInstance(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := core.EMTS5(1)
+		p.UseRejection = true
 		p.DisableCache = true
 		if _, err := core.Run(g, tab, p); err != nil {
 			b.Fatal(err)

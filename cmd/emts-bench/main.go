@@ -1,0 +1,170 @@
+// Command emts-bench runs the repo's Go benchmarks and emits the results as
+// machine-readable JSON, so perf numbers can be committed as artifacts
+// (artifacts/BENCH_PR3.json) and diffed across commits instead of living in
+// free-text logs.
+//
+// It shells out to `go test -run ^$ -bench <pattern> -benchmem` and parses
+// the standard benchmark output: the header lines (goos/goarch/pkg/cpu), and
+// one record per benchmark with iterations, ns/op, B/op, allocs/op, and any
+// custom b.ReportMetric pairs (cache_hit_rate, prefilter_reject_rate, ...).
+//
+// Usage:
+//
+//	emts-bench -bench 'EMTS5Instance$' -benchtime 1x
+//	emts-bench -bench 'BenchmarkEMTS' -benchtime 2s -out artifacts/BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "BenchmarkEMTS", "benchmark regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1s", "go test -benchtime value (e.g. 1s, 100x)")
+		count     = flag.Int("count", 1, "go test -count value")
+		pkg       = flag.String("pkg", ".", "package to benchmark")
+		out       = flag.String("out", "-", "output file, or - for stdout")
+	)
+	flag.Parse()
+	if err := run(*bench, *benchtime, *count, *pkg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime string, count int, pkg, out string) error {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test: %w", err)
+	}
+	rep, err := parseBench(strings.NewReader(string(raw)))
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Report is the JSON document: the benchmark environment plus one record per
+// benchmark line, in output order.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric pairs keyed by unit, e.g.
+	// "cache_hit_rate" or "prefilter_reject_rate".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// parseBench parses `go test -bench` output. Lines it does not recognize
+// (PASS, ok, blank) are skipped; malformed Benchmark lines are an error so
+// silent truncation cannot masquerade as a clean run.
+func parseBench(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkEMTS5Instance  195  6073383 ns/op  0.0077 cache_hit_rate  368208 B/op  947 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. The -<procs> suffix
+// go test appends for GOMAXPROCS>1 is kept as part of the name.
+func parseBenchLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line: %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i < len(f); i += 2 {
+		val, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad value %q in %q: %w", f[i], line, err)
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BytesPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		case "MB/s":
+			// throughput is not meaningful for these benchmarks; skip
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: emts
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEMTS5Instance  	     195	   6073383 ns/op	         0.007692 cache_hit_rate	         0.9154 prefilter_reject_rate	  368208 B/op	     947 allocs/op
+BenchmarkEMTS5InstanceNoCache     	     142	   7215356 ns/op	 1870436 B/op	    2079 allocs/op
+PASS
+ok  	emts	12.637s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "emts" {
+		t.Errorf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEMTS5Instance" || b.Iterations != 195 {
+		t.Errorf("first = %q/%d", b.Name, b.Iterations)
+	}
+	if b.NsPerOp != 6073383 || b.BytesPerOp != 368208 || b.AllocsPerOp != 947 {
+		t.Errorf("first numbers = %v %v %v", b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	if b.Metrics["cache_hit_rate"] != 0.007692 || b.Metrics["prefilter_reject_rate"] != 0.9154 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	if m := rep.Benchmarks[1].Metrics; m != nil {
+		t.Errorf("second benchmark should have no custom metrics, got %v", m)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"PASS\nok\temts\t1s\n", // no benchmark lines at all
+		"BenchmarkX 12 34\n",   // odd field count: value without unit
+		"BenchmarkX notanint 34 ns/op\n",
+		"BenchmarkX 12 nan/op ns/op extra B/op\n",
+	} {
+		if _, err := parseBench(strings.NewReader(in)); err == nil {
+			t.Errorf("parseBench(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseBenchKeepsProcSuffix(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("BenchmarkEMTS5Instance-8 100 5000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkEMTS5Instance-8" {
+		t.Errorf("name = %q", rep.Benchmarks[0].Name)
+	}
+}

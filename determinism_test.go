@@ -86,6 +86,47 @@ func TestEvaluationEngineDeterminism(t *testing.T) {
 					t.Errorf("%s rejection=%v: CacheHits = %d with the cache disabled",
 						ctx, useRejection, plain.CacheHits)
 				}
+
+				// Fast-path axes (DESIGN.md §10): disabling the lower-bound
+				// prefilter and/or delta bottom levels must not change any
+				// search-visible output relative to the all-layers-on run.
+				for _, c := range []struct {
+					name           string
+					noPre, noDelta bool
+				}{
+					{"no-prefilter", true, false},
+					{"no-delta", false, true},
+					{"no-fastpath", true, true},
+				} {
+					q := pr.mk(42)
+					q.UseRejection = useRejection
+					q.DisablePrefilter = c.noPre
+					q.DisableDelta = c.noDelta
+					got, err := core.Run(g, tab, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got.Makespan != withCache.Makespan ||
+						!reflect.DeepEqual(got.Alloc, withCache.Alloc) ||
+						!reflect.DeepEqual(got.History, withCache.History) ||
+						got.Evaluations != withCache.Evaluations ||
+						got.Rejections != withCache.Rejections ||
+						got.CacheHits != withCache.CacheHits {
+						t.Errorf("%s rejection=%v %s: diverged from fast-path run (makespan %g vs %g, evals %d vs %d, rejects %d vs %d)",
+							ctx, useRejection, c.name, got.Makespan, withCache.Makespan,
+							got.Evaluations, withCache.Evaluations, got.Rejections, withCache.Rejections)
+					}
+					if c.noPre && got.PrefilterRejections != 0 {
+						t.Errorf("%s rejection=%v %s: PrefilterRejections = %d with the prefilter disabled",
+							ctx, useRejection, c.name, got.PrefilterRejections)
+					}
+				}
+				if useRejection && withCache.PrefilterRejections == 0 {
+					t.Errorf("%s: expected prefilter rejections with rejection enabled (rejected fraction is high on these instances)", ctx)
+				}
+				if !useRejection && withCache.PrefilterRejections != 0 {
+					t.Errorf("%s: PrefilterRejections = %d without a rejection bound", ctx, withCache.PrefilterRejections)
+				}
 			}
 		}
 	}

@@ -191,17 +191,34 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 		results[i] = JobResult{ID: job.ID, Procs: procs, Duration: rep.Makespan}
 	}
 
-	// Phase 2: pack partitions onto the cluster. avail[p] is processor p's
-	// free time. Strict FCFS dispatches in arrival order, and a job never
-	// starts before an earlier-queued job; with Backfill the dispatcher
-	// instead always commits the pending job that can start earliest
-	// (ties: earlier arrival, then ID), so small jobs slip past blocked
-	// wide ones.
-	avail := make([]float64, cfg.Cluster.Procs)
+	// Phase 2: pack partitions onto the cluster.
+	dispatch(ordered, results, cfg.Cluster.Procs, cfg.Backfill)
+
+	res := &Result{Policy: policy.Name(), Algorithm: cfg.Algorithm, Jobs: results}
+	summarize(res, cfg.Cluster.Procs, results)
+	return res, nil
+}
+
+// dispatch packs the pre-scheduled jobs onto procs processors, filling
+// Start/Finish/Wait of results (parallel to ordered, which is sorted by
+// (arrival, ID)). Strict FCFS dispatches in arrival order and a job never
+// starts before an earlier-queued job; with backfill the dispatcher instead
+// always commits the pending job that can start earliest (ties: earlier
+// arrival, then ID), so small jobs slip past blocked wide ones.
+//
+// Jobs only ever occupy the k earliest-free processors and no output names a
+// physical processor, so availability is kept as a sorted multiset of free
+// times rather than a per-processor array. That makes a feasibility probe
+// O(1) — avail[k-1] IS the time k processors are free — and a commit a
+// single O(P) merge: the k displaced entries all become Finish, which is >=
+// each of them, so sliding the smaller survivors left and filling the gap
+// restores sorted order without re-sorting. The naive per-processor
+// formulation re-sorted avail on every probe, costing O(n²·P log P) across a
+// backfill run; this one is O(n² + n·P).
+func dispatch(ordered []Job, results []JobResult, procs int, backfill bool) {
+	avail := make([]float64, procs) // sorted ascending, always
 	feasibleStart := func(i int) float64 {
-		sorted := append([]float64(nil), avail...)
-		sort.Float64s(sorted)
-		start := sorted[results[i].Procs-1] // Procs earliest-free processors
+		start := avail[results[i].Procs-1] // Procs earliest-free processors
 		if a := ordered[i].Arrival; a > start {
 			start = a
 		}
@@ -212,17 +229,18 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 		r.Start = start
 		r.Finish = start + r.Duration
 		r.Wait = start - ordered[i].Arrival
-		// Occupy the r.Procs processors that were free earliest.
-		idx := make([]int, len(avail))
-		for k := range idx {
-			idx[k] = k
+		// Occupy the r.Procs earliest-free processors: drop avail[:k], merge
+		// k copies of Finish into the sorted tail.
+		k := r.Procs
+		tail := avail[k:]
+		m := sort.SearchFloat64s(tail, r.Finish)
+		copy(avail, tail[:m])      // survivors below Finish slide left
+		for j := m; j < m+k; j++ { // the k new entries, all equal
+			avail[j] = r.Finish
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return avail[idx[a]] < avail[idx[b]] })
-		for _, p := range idx[:r.Procs] {
-			avail[p] = r.Finish
-		}
+		// tail[m:] already occupies avail[m+k:] — untouched and in order.
 	}
-	if cfg.Backfill {
+	if backfill {
 		pending := make([]int, len(results))
 		for i := range pending {
 			pending[i] = i
@@ -249,8 +267,10 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 			prevStart = start
 		}
 	}
+}
 
-	res := &Result{Policy: policy.Name(), Algorithm: cfg.Algorithm, Jobs: results}
+// summarize fills the aggregate fields of res from the dispatched jobs.
+func summarize(res *Result, procs int, results []JobResult) {
 	waits := make([]float64, len(results))
 	turns := make([]float64, len(results))
 	busy := 0.0
@@ -265,9 +285,8 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 	res.MeanWait = stats.Mean(waits)
 	res.MeanTurnaround = stats.Mean(turns)
 	if res.Makespan > 0 {
-		res.Utilization = busy / (res.Makespan * float64(cfg.Cluster.Procs))
+		res.Utilization = busy / (res.Makespan * float64(procs))
 	}
-	return res, nil
 }
 
 // Format renders the aggregate report.

@@ -2,6 +2,7 @@ package batch
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -183,6 +184,130 @@ func TestSimulateValidation(t *testing.T) {
 		t.Fatal("zero-proc grant accepted")
 	}
 }
+
+// naiveDispatch is the pre-optimization reference dispatcher: per-processor
+// avail array, copied and fully sorted on every feasibility probe, index
+// re-sort on every commit. dispatch must reproduce its Start/Finish/Wait
+// bit for bit — the sorted-multiset formulation is an optimization, not a
+// policy change.
+func naiveDispatch(ordered []Job, results []JobResult, procs int, backfill bool) {
+	avail := make([]float64, procs)
+	feasibleStart := func(i int) float64 {
+		sorted := append([]float64(nil), avail...)
+		sort.Float64s(sorted)
+		start := sorted[results[i].Procs-1]
+		if a := ordered[i].Arrival; a > start {
+			start = a
+		}
+		return start
+	}
+	commit := func(i int, start float64) {
+		r := &results[i]
+		r.Start = start
+		r.Finish = start + r.Duration
+		r.Wait = start - ordered[i].Arrival
+		idx := make([]int, len(avail))
+		for k := range idx {
+			idx[k] = k
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return avail[idx[a]] < avail[idx[b]] })
+		for _, p := range idx[:r.Procs] {
+			avail[p] = r.Finish
+		}
+	}
+	if backfill {
+		pending := make([]int, len(results))
+		for i := range pending {
+			pending[i] = i
+		}
+		for len(pending) > 0 {
+			bestK := 0
+			bestStart := feasibleStart(pending[0])
+			for k := 1; k < len(pending); k++ {
+				if s := feasibleStart(pending[k]); s < bestStart {
+					bestK, bestStart = k, s
+				}
+			}
+			commit(pending[bestK], bestStart)
+			pending = append(pending[:bestK], pending[bestK+1:]...)
+		}
+	} else {
+		prevStart := 0.0
+		for i := range results {
+			start := feasibleStart(i)
+			if prevStart > start {
+				start = prevStart
+			}
+			commit(i, start)
+			prevStart = start
+		}
+	}
+}
+
+// randomDispatchInstance builds a synthetic pre-scheduled job set (Phase 1
+// output) so the dispatchers can be exercised without running PTG schedulers.
+func randomDispatchInstance(rng *rand.Rand, n, procs int) ([]Job, []JobResult) {
+	ordered := make([]Job, n)
+	results := make([]JobResult, n)
+	arrival := 0.0
+	for i := range ordered {
+		arrival += rng.Float64() * 10
+		ordered[i] = Job{ID: i, Arrival: arrival}
+		results[i] = JobResult{
+			ID:       i,
+			Procs:    1 + rng.Intn(procs),
+			Duration: 1 + rng.Float64()*100,
+		}
+	}
+	return ordered, results
+}
+
+func TestDispatchMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		procs := 1 + rng.Intn(64)
+		ordered, results := randomDispatchInstance(rng, n, procs)
+		for _, backfill := range []bool{false, true} {
+			got := append([]JobResult(nil), results...)
+			want := append([]JobResult(nil), results...)
+			dispatch(ordered, got, procs, backfill)
+			naiveDispatch(ordered, want, procs, backfill)
+			for i := range got {
+				//schedlint:allow floateq -- dispatch is required to be bit-identical to the reference, not approximately equal
+				if got[i].Start != want[i].Start || got[i].Finish != want[i].Finish || got[i].Wait != want[i].Wait {
+					t.Logf("seed=%d backfill=%v job %d: got (%g,%g,%g) want (%g,%g,%g)",
+						seed, backfill, i, got[i].Start, got[i].Finish, got[i].Wait,
+						want[i].Start, want[i].Finish, want[i].Wait)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchmarkDispatch measures the packing phase alone on a synthetic queue —
+// the regime the incremental availability order targets (many jobs, wide
+// cluster, backfill probing every pending job per commit).
+func benchmarkDispatch(b *testing.B, fn func([]Job, []JobResult, int, bool)) {
+	const n, procs = 200, 512
+	rng := rand.New(rand.NewSource(17))
+	ordered, results := randomDispatchInstance(rng, n, procs)
+	scratch := make([]JobResult, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, results)
+		fn(ordered, scratch, procs, true)
+	}
+}
+
+func BenchmarkBackfillDispatch(b *testing.B)      { benchmarkDispatch(b, dispatch) }
+func BenchmarkBackfillDispatchNaive(b *testing.B) { benchmarkDispatch(b, naiveDispatch) }
 
 func TestSimulatePropertyNoOversubscription(t *testing.T) {
 	f := func(seed int64) bool {

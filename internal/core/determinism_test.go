@@ -68,10 +68,52 @@ func TestRunDeterministicCacheOnOff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Cache bookkeeping is mode-dependent by design: CacheHits is zero with
+	// the cache off, and PrefilterRejections counts only actual evaluator
+	// calls, of which the uncached run makes more.
 	on.CacheHits, off.CacheHits = 0, 0
+	on.PrefilterRejections, off.PrefilterRejections = 0, 0
 	if !reflect.DeepEqual(on, off) {
 		t.Fatalf("cache on/off diverged:\n on:  makespan=%v history=%v evals=%d\n off: makespan=%v history=%v evals=%d",
 			on.Makespan, on.History, on.Evaluations,
 			off.Makespan, off.History, off.Evaluations)
+	}
+}
+
+// TestRunDeterministicFastPathOnOff extends the cache meta-test to the PR 3
+// evaluation fast path (DESIGN.md §10): the admissible lower-bound prefilter
+// (Layer 1) and delta-aware bottom levels (Layer 3) are optimizations, not
+// semantic changes, so every combination of the two switches must produce
+// bit-identical search results — with rejection enabled, where both layers
+// actually fire.
+func TestRunDeterministicFastPathOnOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := randomPTG(rng, 25)
+	tab := model.MustTable(g, model.Synthetic{}, testCluster)
+
+	run := func(noPrefilter, noDelta bool) *Result {
+		t.Helper()
+		p := EMTS5(5)
+		p.UseRejection = true
+		p.DisablePrefilter = noPrefilter
+		p.DisableDelta = noDelta
+		res, err := Run(g, tab, p)
+		if err != nil {
+			t.Fatalf("prefilter=%v delta=%v: %v", !noPrefilter, !noDelta, err)
+		}
+		// PrefilterRejections is necessarily mode-dependent (zero with the
+		// prefilter off); everything else must match bit for bit.
+		res.PrefilterRejections = 0
+		return res
+	}
+
+	ref := run(true, true) // both layers off: the PR 2 baseline behavior
+	for _, c := range []struct{ noPre, noDelta bool }{{false, true}, {true, false}, {false, false}} {
+		got := run(c.noPre, c.noDelta)
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("fast path (prefilter=%v, delta=%v) diverged from baseline:\n got: makespan=%v history=%v evals=%d rejects=%d\n ref: makespan=%v history=%v evals=%d rejects=%d",
+				!c.noPre, !c.noDelta, got.Makespan, got.History, got.Evaluations, got.Rejections,
+				ref.Makespan, ref.History, ref.Evaluations, ref.Rejections)
+		}
 	}
 }

@@ -68,6 +68,18 @@ type Params struct {
 	// either way; the switch exists for A/B measurement and the determinism
 	// regression tests.
 	DisableCache bool
+	// DisablePrefilter turns off the O(V) admissible lower-bound prefilter
+	// that short-circuits the map loop for rejected individuals when
+	// UseRejection is set (DESIGN.md §10, Layer 1). Results are bit-identical
+	// either way; A/B switch like DisableCache.
+	DisablePrefilter bool
+	// DisableDelta turns off delta-aware bottom-level evaluation: offspring
+	// are then evaluated with a full O(V+E) bottom-level sweep instead of
+	// recomputing only the alleles their mutation touched plus affected
+	// ancestors (DESIGN.md §10, Layer 3). Results are bit-identical either
+	// way; A/B switch like DisableCache. Delta evaluation requires the
+	// engine, so DisableCache implies it.
+	DisableDelta bool
 	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// Seed drives every stochastic choice. Equal seeds ⇒ identical results,
@@ -135,6 +147,10 @@ type Result struct {
 	// CacheHits counts fitness evaluations answered by the memoization
 	// cache instead of a fresh list-scheduling pass (see ea.Result.CacheHits).
 	CacheHits int
+	// PrefilterRejections counts the rejections decided by the O(V)
+	// lower-bound prefilter instead of the map loop (see
+	// ea.Result.PrefilterRejections) — map loops skipped entirely.
+	PrefilterRejections int
 }
 
 // BestSeedMakespan returns the smallest makespan among successful starting
@@ -190,59 +206,85 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 		return nil, fmt.Errorf("emts: every starting heuristic failed (first: %v)", res.Seeds[0].Err)
 	}
 
+	// mapErr translates listsched sentinels into their ea mirrors so the
+	// evaluation engine can count rejections (and prefilter rejections)
+	// without importing listsched. The prefilter variant wraps the generic
+	// one, so it must be tested first.
+	mapErr := func(err error) error {
+		if errors.Is(err, listsched.ErrRejectedPrefilter) {
+			return ea.ErrRejectedPrefilter
+		}
+		if errors.Is(err, listsched.ErrRejected) {
+			return ea.ErrRejected
+		}
+		return err
+	}
+
 	// fitness is the legacy shared evaluator; with the evaluation engine
 	// enabled (the default) each EA worker instead owns an arena-backed
 	// Mapper from the factory below, so a warm fitness call allocates
 	// nothing. Both paths produce bit-identical makespans.
 	fitness := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
 		s, err := listsched.MapWithOptions(g, tab, a, listsched.Options{
-			SkipProcSets: true,
-			RejectAbove:  rejectAbove,
+			SkipProcSets:     true,
+			RejectAbove:      rejectAbove,
+			DisablePrefilter: p.DisablePrefilter,
 		})
-		if errors.Is(err, listsched.ErrRejected) {
-			return 0, ea.ErrRejected
-		}
 		if err != nil {
-			return 0, err
+			return 0, mapErr(err)
 		}
 		return s.Makespan(), nil
 	}
-	var factory func() ea.Evaluator
+	var deltaFactory func() (ea.Evaluator, ea.DeltaEvaluator)
 	if !p.DisableCache {
-		factory = func() ea.Evaluator {
+		baseOpt := listsched.Options{SkipProcSets: true, DisablePrefilter: p.DisablePrefilter}
+		deltaFactory = func() (ea.Evaluator, ea.DeltaEvaluator) {
 			m, err := listsched.NewMapper(g, tab)
 			if err != nil {
-				return fitness // unreachable: sizes were validated above
+				return fitness, nil // unreachable: sizes were validated above
 			}
-			return func(a schedule.Allocation, rejectAbove float64) (float64, error) {
-				f, err := m.MakespanBounded(a, rejectAbove)
-				if errors.Is(err, listsched.ErrRejected) {
-					return 0, ea.ErrRejected
-				}
+			// Both closures share one Mapper (and thus its bottom-level
+			// arena and parent-baseline cache); the engine calls them from a
+			// single worker goroutine, never concurrently.
+			plain := func(a schedule.Allocation, rejectAbove float64) (float64, error) {
+				opt := baseOpt
+				opt.RejectAbove = rejectAbove
+				f, err := m.MakespanOpts(a, opt)
 				if err != nil {
-					return 0, err
+					return 0, mapErr(err)
 				}
 				return f, nil
 			}
+			delta := func(a, parent schedule.Allocation, mutated []int, rejectAbove float64) (float64, error) {
+				opt := baseOpt
+				opt.RejectAbove = rejectAbove
+				f, err := m.MakespanDelta(a, parent, mutated, opt)
+				if err != nil {
+					return 0, mapErr(err)
+				}
+				return f, nil
+			}
+			return plain, delta
 		}
 	}
 
 	cfg := ea.Config{
-		Mu:               p.Mu,
-		Lambda:           p.Lambda,
-		Generations:      p.Generations,
-		Fm:               p.Fm,
-		Mutator:          p.Mutation,
-		CrossoverProb:    p.CrossoverProb,
-		UseRejection:     p.UseRejection,
-		Workers:          p.Workers,
-		Seed:             p.Seed,
-		EvaluatorFactory: factory,
-		DisableCache:     p.DisableCache,
-		Strategy:         p.Strategy,
-		SelfAdaptive:     p.SelfAdaptive,
-		InitialSigma:     p.InitialSigma,
-		OnGeneration:     p.OnGeneration,
+		Mu:                    p.Mu,
+		Lambda:                p.Lambda,
+		Generations:           p.Generations,
+		Fm:                    p.Fm,
+		Mutator:               p.Mutation,
+		CrossoverProb:         p.CrossoverProb,
+		UseRejection:          p.UseRejection,
+		Workers:               p.Workers,
+		Seed:                  p.Seed,
+		DeltaEvaluatorFactory: deltaFactory,
+		DisableDelta:          p.DisableDelta,
+		DisableCache:          p.DisableCache,
+		Strategy:              p.Strategy,
+		SelfAdaptive:          p.SelfAdaptive,
+		InitialSigma:          p.InitialSigma,
+		OnGeneration:          p.OnGeneration,
 	}
 	run, err := ea.Run(cfg, g.NumTasks(), procs, seedAllocs, fitness)
 	if err != nil {
@@ -260,5 +302,6 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 	res.Evaluations = run.Evaluations
 	res.Rejections = run.Rejections
 	res.CacheHits = run.CacheHits
+	res.PrefilterRejections = run.PrefilterRejections
 	return res, nil
 }

@@ -53,12 +53,25 @@ type Edge struct {
 
 // Graph is an immutable parallel task graph. The zero value is an empty graph;
 // use a Builder to create non-empty graphs.
+//
+// Adjacency is stored in compressed sparse row (CSR) form: one flat backing
+// array per direction plus an offsets array, so the successor lists of all
+// tasks are contiguous in memory. The fitness evaluation sweeps every
+// adjacency list once per call (BottomLevelsInto plus the map loop), and a
+// slice-of-slices layout costs one pointer chase and a potential cache miss
+// per task; CSR turns the whole sweep into a linear scan of two arrays.
+// Successors/Predecessors return subslices of the backing arrays, so the API
+// is unchanged.
 type Graph struct {
 	name  string
 	tasks []Task
-	succ  [][]TaskID
-	pred  [][]TaskID
-	edges int
+	// succOff/predOff have NumTasks()+1 entries; the neighbors of task v in
+	// direction d are dAdj[dOff[v]:dOff[v+1]], sorted by ID ascending.
+	succOff []int32
+	succAdj []TaskID
+	predOff []int32
+	predAdj []TaskID
+	edges   int
 	// topo and indeg are computed once at Build time and shared by every
 	// analysis pass. Immutability makes this safe: the adjacency never
 	// changes, so neither do the topological order nor the indegrees. Both
@@ -66,6 +79,25 @@ type Graph struct {
 	// experiment), which is why they are cached rather than recomputed.
 	topo  []TaskID
 	indeg []int
+}
+
+// buildCSR flattens a slice-of-slices adjacency into CSR form. Each segment
+// is sorted ascending, preserving the deterministic neighbor order the
+// slice-of-slices representation guaranteed.
+func buildCSR(adj [][]TaskID) (off []int32, flat []TaskID) {
+	off = make([]int32, len(adj)+1)
+	total := 0
+	for i, row := range adj {
+		total += len(row)
+		off[i+1] = int32(total)
+	}
+	flat = make([]TaskID, total)
+	for i, row := range adj {
+		seg := flat[off[i]:off[i+1]]
+		copy(seg, row)
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+	}
+	return off, flat
 }
 
 // Builder incrementally assembles a Graph. It is not safe for concurrent use.
@@ -136,20 +168,15 @@ func (b *Builder) Build() (*Graph, error) {
 	g := &Graph{
 		name:  b.name,
 		tasks: append([]Task(nil), b.tasks...),
-		succ:  make([][]TaskID, len(b.tasks)),
-		pred:  make([][]TaskID, len(b.tasks)),
 		edges: len(b.seen),
 	}
-	for i := range b.succ {
-		g.succ[i] = append([]TaskID(nil), b.succ[i]...)
-		g.pred[i] = append([]TaskID(nil), b.pred[i]...)
-		// Deterministic adjacency order regardless of insertion order.
-		sort.Slice(g.succ[i], func(a, c int) bool { return g.succ[i][a] < g.succ[i][c] })
-		sort.Slice(g.pred[i], func(a, c int) bool { return g.pred[i][a] < g.pred[i][c] })
-	}
+	// buildCSR sorts each segment, giving deterministic adjacency order
+	// regardless of insertion order.
+	g.succOff, g.succAdj = buildCSR(b.succ)
+	g.predOff, g.predAdj = buildCSR(b.pred)
 	g.indeg = make([]int, len(g.tasks))
 	for i := range g.tasks {
-		g.indeg[i] = len(g.pred[i])
+		g.indeg[i] = int(g.predOff[i+1] - g.predOff[i])
 	}
 	topo, err := g.computeTopo()
 	if err != nil {
@@ -186,18 +213,29 @@ func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
 func (g *Graph) Tasks() []Task { return append([]Task(nil), g.tasks...) }
 
 // Successors returns the tasks that directly depend on id. The returned slice
-// must not be modified.
-func (g *Graph) Successors(id TaskID) []TaskID { return g.succ[id] }
+// is a subslice of the graph's CSR backing array (full slice expression, so
+// appends cannot clobber neighbors) and must not be modified.
+//
+//schedlint:hotpath
+func (g *Graph) Successors(id TaskID) []TaskID {
+	lo, hi := g.succOff[id], g.succOff[id+1]
+	return g.succAdj[lo:hi:hi]
+}
 
-// Predecessors returns the direct dependencies of id. The returned slice must
-// not be modified.
-func (g *Graph) Predecessors(id TaskID) []TaskID { return g.pred[id] }
+// Predecessors returns the direct dependencies of id. The returned slice is a
+// subslice of the graph's CSR backing array and must not be modified.
+//
+//schedlint:hotpath
+func (g *Graph) Predecessors(id TaskID) []TaskID {
+	lo, hi := g.predOff[id], g.predOff[id+1]
+	return g.predAdj[lo:hi:hi]
+}
 
 // Edges returns all edges in deterministic (src, dst) order.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.edges)
-	for src := range g.succ {
-		for _, dst := range g.succ[src] {
+	for src := range g.tasks {
+		for _, dst := range g.Successors(TaskID(src)) {
 			es = append(es, Edge{TaskID(src), dst})
 		}
 	}
@@ -208,7 +246,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Sources() []TaskID {
 	var out []TaskID
 	for i := range g.tasks {
-		if len(g.pred[i]) == 0 {
+		if g.predOff[i] == g.predOff[i+1] {
 			out = append(out, TaskID(i))
 		}
 	}
@@ -219,7 +257,7 @@ func (g *Graph) Sources() []TaskID {
 func (g *Graph) Sinks() []TaskID {
 	var out []TaskID
 	for i := range g.tasks {
-		if len(g.succ[i]) == 0 {
+		if g.succOff[i] == g.succOff[i+1] {
 			out = append(out, TaskID(i))
 		}
 	}
@@ -265,7 +303,7 @@ func (g *Graph) computeTopo() ([]TaskID, error) {
 	n := len(g.tasks)
 	indeg := make([]int, n)
 	for i := range g.tasks {
-		indeg[i] = len(g.pred[i])
+		indeg[i] = int(g.predOff[i+1] - g.predOff[i])
 	}
 	// Min-heap over task IDs keeps the order deterministic and stable.
 	h := &idHeap{}
@@ -278,7 +316,7 @@ func (g *Graph) computeTopo() ([]TaskID, error) {
 	for h.len() > 0 {
 		v := h.pop()
 		order = append(order, v)
-		for _, w := range g.succ[v] {
+		for _, w := range g.Successors(v) {
 			indeg[w]--
 			if indeg[w] == 0 {
 				h.push(w)
@@ -301,7 +339,7 @@ func (g *Graph) PrecedenceLevels() (level []int, byLevel [][]TaskID) {
 	maxLevel := 0
 	for _, v := range order {
 		l := 0
-		for _, p := range g.pred[v] {
+		for _, p := range g.Predecessors(v) {
 			if level[p]+1 > l {
 				l = level[p] + 1
 			}
@@ -343,10 +381,14 @@ func (g *Graph) BottomLevelsInto(cost CostFunc, dst []float64) []float64 {
 	}
 	bl := dst[:n]
 	order := g.topoOrder()
+	// Walk the CSR arrays directly: the reverse-topological sweep touches
+	// every successor list once, and indexing succAdj through succOff keeps
+	// the whole pass on two contiguous arrays.
+	off, adj := g.succOff, g.succAdj
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
 		maxSucc := 0.0
-		for _, s := range g.succ[v] {
+		for _, s := range adj[off[v]:off[v+1]] {
 			if bl[s] > maxSucc {
 				maxSucc = bl[s]
 			}
@@ -363,7 +405,7 @@ func (g *Graph) TopLevels(cost CostFunc) []float64 {
 	tl := make([]float64, len(g.tasks))
 	for _, v := range order {
 		maxPred := 0.0
-		for _, p := range g.pred[v] {
+		for _, p := range g.Predecessors(v) {
 			if t := tl[p] + cost(p); t > maxPred {
 				maxPred = t
 			}
@@ -392,7 +434,7 @@ func (g *Graph) CriticalPath(cost CostFunc) (path []TaskID, length float64) {
 	for {
 		path = append(path, cur)
 		next := TaskID(-1)
-		for _, s := range g.succ[cur] {
+		for _, s := range g.Successors(cur) {
 			if next == -1 || bl[s] > bl[next] {
 				next = s
 			}

@@ -29,9 +29,20 @@ type Individual struct {
 	// Sigma is the individual's mutation step size when the run uses
 	// self-adaptation (Config.SelfAdaptive); 0 otherwise.
 	Sigma float64
+
+	// parent and mutated record the offspring's lineage for delta-aware
+	// evaluation (DESIGN.md §10, Layer 3): parent is the parent's live
+	// allocation vector and mutated lists the allele positions the mutation
+	// operator touched, so Alloc[i] == parent[i] for every position not in
+	// mutated. Both are nil for seeds, crossover offspring, and selected
+	// parents (Clone and selectBest clear them). Run only sets them when the
+	// parent vector is guaranteed to stay unmutated for the rest of the run.
+	parent  schedule.Allocation
+	mutated []int
 }
 
-// Clone returns a deep copy of the individual.
+// Clone returns a deep copy of the individual. Lineage is not carried over:
+// a clone is a free-standing vector, not a delta against its parent.
 func (ind Individual) Clone() Individual {
 	return Individual{Alloc: ind.Alloc.Clone(), Fitness: ind.Fitness, Sigma: ind.Sigma}
 }
@@ -43,9 +54,24 @@ func (ind Individual) Clone() Individual {
 // functions: they are called concurrently from multiple goroutines.
 type Evaluator func(alloc schedule.Allocation, rejectAbove float64) (float64, error)
 
+// DeltaEvaluator is an Evaluator that additionally receives the offspring's
+// lineage: the parent allocation it was mutated from and the positions that
+// were mutated. Implementations may exploit the lineage to skip work (see
+// listsched.Mapper.MakespanDelta) but must return bit-identical results to a
+// lineage-free evaluation of alloc. parent may be nil (no usable lineage);
+// implementations must then fall back to a full evaluation.
+type DeltaEvaluator func(alloc, parent schedule.Allocation, mutated []int, rejectAbove float64) (float64, error)
+
 // ErrRejected is returned by an Evaluator that aborted due to rejectAbove.
 // It mirrors listsched.ErrRejected without importing the package.
 var ErrRejected = errors.New("ea: individual rejected by fitness bound")
+
+// ErrRejectedPrefilter is the ErrRejected variant for rejections decided by
+// an O(V) lower-bound prefilter before the full fitness computation
+// (listsched.ErrRejectedPrefilter, mirrored here without the import). It
+// wraps ErrRejected; the engine counts it separately in
+// Result.PrefilterRejections.
+var ErrRejectedPrefilter = fmt.Errorf("%w (lower-bound prefilter)", ErrRejected)
 
 // Mutator derives one offspring allocation change. Implementations mutate
 // exactly the requested number of alleles (or all of them if the vector is
@@ -55,6 +81,21 @@ type Mutator interface {
 	Name() string
 	// Mutate modifies m distinct alleles of alloc in place.
 	Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int)
+}
+
+// PositionsMutator is an optional extension of Mutator for operators that can
+// report which positions they touched and work from a caller-owned scratch
+// buffer. Run uses it for two things: zero-allocation offspring generation
+// (the permutation buffer is reused across all offspring of a run) and
+// lineage threading to delta-aware evaluators. MutateInto must consume the
+// RNG in exactly the same call sequence as Mutate, so switching between the
+// two paths cannot change a seeded run.
+type PositionsMutator interface {
+	Mutator
+	// MutateInto is Mutate using perm (grown if needed) as the position
+	// scratch buffer. It returns the mutated positions; the returned slice
+	// aliases perm and is only valid until the next call.
+	MutateInto(rng *rand.Rand, alloc schedule.Allocation, m, procs int, perm []int) []int
 }
 
 // PaperMutator is the mutation operator of Section III-D. The number of
@@ -95,7 +136,13 @@ func (pm PaperMutator) Delta(rng *rand.Rand) int {
 // Mutate implements Mutator: it adjusts m distinct random alleles by Delta,
 // clamping each result into [1, procs].
 func (pm PaperMutator) Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int) {
-	for _, i := range samplePositions(rng, len(alloc), m) {
+	pm.MutateInto(rng, alloc, m, procs, nil)
+}
+
+// MutateInto implements PositionsMutator.
+func (pm PaperMutator) MutateInto(rng *rand.Rand, alloc schedule.Allocation, m, procs int, perm []int) []int {
+	positions := samplePositionsInto(rng, len(alloc), m, perm)
+	for _, i := range positions {
 		v := alloc[i] + pm.Delta(rng)
 		if v < 1 {
 			v = 1
@@ -105,6 +152,7 @@ func (pm PaperMutator) Mutate(rng *rand.Rand, alloc schedule.Allocation, m, proc
 		}
 		alloc[i] = v
 	}
+	return positions
 }
 
 // UniformMutator resamples each selected allele uniformly from [1, procs].
@@ -117,21 +165,39 @@ func (UniformMutator) Name() string { return "uniform" }
 
 // Mutate implements Mutator.
 func (UniformMutator) Mutate(rng *rand.Rand, alloc schedule.Allocation, m, procs int) {
-	for _, i := range samplePositions(rng, len(alloc), m) {
+	UniformMutator{}.MutateInto(rng, alloc, m, procs, nil)
+}
+
+// MutateInto implements PositionsMutator.
+func (UniformMutator) MutateInto(rng *rand.Rand, alloc schedule.Allocation, m, procs int, perm []int) []int {
+	positions := samplePositionsInto(rng, len(alloc), m, perm)
+	for _, i := range positions {
 		alloc[i] = 1 + rng.Intn(procs)
 	}
+	return positions
 }
 
 // samplePositions draws min(m, n) distinct indices from [0, n) via a partial
 // Fisher-Yates shuffle.
 func samplePositions(rng *rand.Rand, n, m int) []int {
+	return samplePositionsInto(rng, n, m, nil)
+}
+
+// samplePositionsInto is samplePositions writing into perm, which is grown if
+// its capacity is below n and reused otherwise — the offspring loop of Run
+// passes one buffer for the whole run, so mutation allocates nothing. The
+// RNG consumption (m Intn calls) is identical regardless of the buffer.
+func samplePositionsInto(rng *rand.Rand, n, m int, perm []int) []int {
 	if m > n {
 		m = n
 	}
 	if m <= 0 {
 		return nil
 	}
-	idx := make([]int, n)
+	if cap(perm) < n {
+		perm = make([]int, n)
+	}
+	idx := perm[:n]
 	for i := range idx {
 		idx[i] = i
 	}
@@ -229,6 +295,19 @@ type Config struct {
 	// (5+25)×5 EMTS run builds 𝑂(workers) arenas instead of ~130. Factory
 	// products must obey the same purity contract as Evaluator.
 	EvaluatorFactory func() Evaluator
+	// DeltaEvaluatorFactory, when non-nil, supplies one (plain, delta)
+	// evaluator pair per worker goroutine and takes precedence over
+	// EvaluatorFactory. The delta evaluator is used for offspring with a
+	// recorded lineage (pure mutations of a live parent); the plain one for
+	// everything else. Both must be backed by the same state so the delta
+	// path sees the same arenas (see core.Run's wiring of
+	// listsched.Mapper.MakespanDelta).
+	DeltaEvaluatorFactory func() (Evaluator, DeltaEvaluator)
+	// DisableDelta ignores DeltaEvaluatorFactory's delta evaluator and
+	// lineage information, forcing full evaluations. Results are
+	// bit-identical either way (the delta sweep is exact) — the switch
+	// exists for A/B measurement and regression tests, like DisableCache.
+	DisableDelta bool
 	// DisableCache turns off fitness memoization and within-batch
 	// deduplication. Results are bit-identical either way (the cache is
 	// exact; see Result.CacheHits) — the switch exists for A/B measurement
@@ -289,6 +368,12 @@ type Result struct {
 	Evaluations int
 	// Rejections counts evaluations aborted by the rejection bound.
 	Rejections int
+	// PrefilterRejections counts the subset of Rejections decided by an O(V)
+	// lower-bound prefilter before the full fitness computation
+	// (ErrRejectedPrefilter). Only actual evaluator calls are counted:
+	// rejections replayed from the memo cache or batch deduplication are
+	// not, so the counter measures map loops actually skipped.
+	PrefilterRejections int
 	// CacheHits counts the fitness evaluations answered without invoking an
 	// Evaluator: memoized results from earlier generations plus duplicates
 	// within one batch. Always 0 when Config.DisableCache is set.
@@ -340,7 +425,9 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 	if err := eng.evaluateAll(pool, 0, res); err != nil {
 		return nil, err
 	}
-	parents := selectBest(pool, cfg.Mu)
+	// The initial pool's vectors are all freshly allocated and private to
+	// this run, so every entry qualifies for clone-free passthrough.
+	parents := selectBest(pool, cfg.Mu, len(pool))
 	res.Best = parents[0].Clone()
 	res.History = append(res.History, res.Best.Fitness)
 
@@ -358,17 +445,38 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 	}
 	tau := 1 / math.Sqrt(2*float64(v))
 
+	// Offspring arena: one backing array serves all λ child vectors and is
+	// reused every generation, and one permutation buffer serves every
+	// mutation call — offspring generation allocates nothing after this
+	// point. The aliasing rule making this safe: anything that must outlive
+	// the generation is copied out — selectBest clones arena-backed
+	// survivors and the memo cache stores private copies (evalEngine.insert)
+	// — so overwriting the arena next generation cannot corrupt survivors or
+	// cached entries.
 	offspring := make([]Individual, cfg.Lambda)
+	arena := make(schedule.Allocation, cfg.Lambda*v)
+	perm := make([]int, v)
+	// lineageBuf holds each offspring's mutated-position list. MutationCount
+	// is non-increasing in u, so the generation-0 count bounds every later
+	// one and λ fixed-size segments suffice.
+	m0 := MutationCount(0, cfg.Generations, cfg.Fm, v)
+	lineageBuf := make([]int, cfg.Lambda*m0)
+	pmut, hasPositions := mut.(PositionsMutator)
+
 	for u := 0; u < cfg.Generations; u++ {
 		m := MutationCount(u, cfg.Generations, cfg.Fm, v)
 		for i := range offspring {
 			parent := parents[rng.Intn(len(parents))]
-			child := parent.Alloc.Clone()
+			child := arena[i*v : (i+1)*v : (i+1)*v]
+			copy(child, parent.Alloc)
+			crossed := false
 			if cfg.CrossoverProb > 0 && len(parents) > 1 && rng.Float64() < cfg.CrossoverProb {
 				other := parents[rng.Intn(len(parents))].Alloc
 				uniformCrossover(rng, child, other)
+				crossed = true
 			}
 			sigma := 0.0
+			var positions []int
 			if cfg.SelfAdaptive {
 				sigma = parent.Sigma
 				if sigma <= 0 {
@@ -381,11 +489,24 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 				if max := float64(procs); sigma > max {
 					sigma = max
 				}
-				PaperMutator{A: 0.2, Sigma1: sigma, Sigma2: sigma}.Mutate(rng, child, m, procs)
+				positions = PaperMutator{A: 0.2, Sigma1: sigma, Sigma2: sigma}.MutateInto(rng, child, m, procs, perm)
+			} else if hasPositions {
+				positions = pmut.MutateInto(rng, child, m, procs, perm)
 			} else {
 				mut.Mutate(rng, child, m, procs)
 			}
 			offspring[i] = Individual{Alloc: child, Sigma: sigma}
+			// Record lineage for delta-aware evaluation: only for pure
+			// mutations (crossover mixes two parents, so the touched-position
+			// set is unknown) and only when the positions fit the per-child
+			// segment. The parent vector is safe to reference: selected
+			// parents are never mutated in place for the rest of the run.
+			if positions != nil && !crossed && len(positions) <= m0 {
+				lin := lineageBuf[i*m0 : i*m0+len(positions)]
+				copy(lin, positions)
+				offspring[i].parent = parent.Alloc
+				offspring[i].mutated = lin
+			}
 		}
 		bound := 0.0
 		if cfg.UseRejection {
@@ -396,13 +517,17 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 			return nil, err
 		}
 		// Selection: plus-strategy pools parents with offspring; the
-		// comma-strategy selects from the offspring alone.
+		// comma-strategy selects from the offspring alone. The leading
+		// parents region is stable (clone-free passthrough); the offspring
+		// region is arena-backed and must be cloned when selected.
 		pool = pool[:0]
+		stable := 0
 		if cfg.Strategy == Plus {
 			pool = append(pool, parents...)
+			stable = len(parents)
 		}
 		pool = append(pool, offspring...)
-		parents = selectBest(pool, cfg.Mu)
+		parents = selectBest(pool, cfg.Mu, stable)
 		if parents[0].Fitness < res.Best.Fitness {
 			res.Best = parents[0].Clone()
 		}
@@ -449,16 +574,35 @@ func uniformCrossover(rng *rand.Rand, child, other schedule.Allocation) {
 
 // selectBest returns the mu fittest individuals of pool (stable order, so
 // earlier individuals win ties — parents persist over equal offspring).
-func selectBest(pool []Individual, mu int) []Individual {
-	sorted := make([]Individual, len(pool))
-	copy(sorted, pool)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Fitness < sorted[j].Fitness })
-	if mu > len(sorted) {
-		mu = len(sorted)
+//
+// The first stable entries of pool are backed by vectors that stay live and
+// unmutated for the rest of the run (previous parents, or the fresh initial
+// pool); they are passed through without cloning, which both saves the copy
+// and preserves vector identity across generations — the property the
+// delta evaluator's parent-keyed baseline cache relies on
+// (listsched.Mapper.MakespanDelta). Entries at index >= stable are
+// arena-backed offspring and are cloned. Sorting indices instead of the
+// individuals keeps the tie-breaking identical to a stable sort of the pool
+// itself. Lineage fields are cleared either way: a parent is a free-standing
+// vector from now on.
+func selectBest(pool []Individual, mu, stable int) []Individual {
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pool[idx[a]].Fitness < pool[idx[b]].Fitness })
+	if mu > len(idx) {
+		mu = len(idx)
 	}
 	out := make([]Individual, mu)
 	for i := range out {
-		out[i] = sorted[i].Clone()
+		j := idx[i]
+		if j < stable {
+			out[i] = pool[j]
+			out[i].parent, out[i].mutated = nil, nil
+		} else {
+			out[i] = pool[j].Clone()
+		}
 	}
 	return out
 }

@@ -401,7 +401,7 @@ func TestSelectBestStableTies(t *testing.T) {
 		{Alloc: schedule.Allocation{2}, Fitness: 1},
 		{Alloc: schedule.Allocation{3}, Fitness: 1},
 	}
-	best := selectBest(pool, 2)
+	best := selectBest(pool, 2, 0)
 	if best[0].Alloc[0] != 2 || best[1].Alloc[0] != 3 {
 		t.Fatalf("selectBest order: %v", best)
 	}

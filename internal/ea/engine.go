@@ -25,17 +25,27 @@ import (
 // with fitness f is treated as rejected precisely when f > rejectAbove.
 // Results are therefore bit-identical with the cache on or off.
 type evalEngine struct {
-	fallback Evaluator
-	factory  func() Evaluator
-	workers  int
-	perW     []Evaluator
-	cache    map[uint64][]memoEntry // nil when memoization is disabled
+	fallback     Evaluator
+	factory      func() Evaluator
+	deltaFactory func() (Evaluator, DeltaEvaluator)
+	workers      int
+	perW         []workerEval
+	cache        map[uint64][]memoEntry // nil when memoization is disabled
+}
+
+// workerEval is one worker's evaluator pair. delta is nil unless the run
+// wired a DeltaEvaluatorFactory (and DisableDelta is off); when present it
+// handles individuals that carry a lineage, the plain evaluator handles the
+// rest.
+type workerEval struct {
+	eval  Evaluator
+	delta DeltaEvaluator
 }
 
 // memoEntry resolves hash collisions by keeping the full vector. The alloc
-// slice is retained by reference: individuals are never mutated in place
-// after evaluation (offspring are cloned from parents before mutation), so
-// the reference stays valid for the whole run.
+// slice is a private copy made at insert time: offspring vectors are backed
+// by a per-generation arena that is overwritten by the next generation, so
+// retaining them by reference would corrupt the cache.
 type memoEntry struct {
 	alloc   schedule.Allocation
 	fitness float64
@@ -43,6 +53,18 @@ type memoEntry struct {
 
 func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 	eng := &evalEngine{fallback: fitness, factory: cfg.EvaluatorFactory, workers: cfg.Workers}
+	if cfg.DeltaEvaluatorFactory != nil {
+		if cfg.DisableDelta {
+			// Keep the factory's plain evaluator (it shares arenas with the
+			// delta one) but never dispatch on lineage.
+			eng.factory = func() Evaluator {
+				ev, _ := cfg.DeltaEvaluatorFactory()
+				return ev
+			}
+		} else {
+			eng.deltaFactory = cfg.DeltaEvaluatorFactory
+		}
+	}
 	if eng.workers <= 0 {
 		eng.workers = runtime.GOMAXPROCS(0)
 	}
@@ -52,14 +74,19 @@ func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 	return eng
 }
 
-// evaluator returns the Evaluator owned by worker w, constructing it on first
-// use. Must be called before the worker goroutines start.
-func (eng *evalEngine) evaluator(w int) Evaluator {
-	if eng.factory == nil {
-		return eng.fallback
+// evaluator returns the evaluator pair owned by worker w, constructing it on
+// first use. Must be called before the worker goroutines start.
+func (eng *evalEngine) evaluator(w int) workerEval {
+	if eng.factory == nil && eng.deltaFactory == nil {
+		return workerEval{eval: eng.fallback}
 	}
 	for len(eng.perW) <= w {
-		eng.perW = append(eng.perW, eng.factory())
+		if eng.deltaFactory != nil {
+			ev, dev := eng.deltaFactory()
+			eng.perW = append(eng.perW, workerEval{eval: ev, delta: dev})
+		} else {
+			eng.perW = append(eng.perW, workerEval{eval: eng.factory()})
+		}
 	}
 	return eng.perW[w]
 }
@@ -76,7 +103,9 @@ func (eng *evalEngine) lookup(key uint64, a schedule.Allocation) (float64, bool)
 
 //schedlint:hotpath
 func (eng *evalEngine) insert(key uint64, a schedule.Allocation, f float64) {
-	eng.cache[key] = append(eng.cache[key], memoEntry{alloc: a, fitness: f})
+	// Clone: a may be arena-backed and reused next generation; the cache
+	// needs its own copy (one allocation per *fresh* evaluation only).
+	eng.cache[key] = append(eng.cache[key], memoEntry{alloc: a.Clone(), fitness: f})
 }
 
 // hashAlloc is FNV-1a over the alleles, widened to uint64 per position.
@@ -173,6 +202,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 	// rejected is an atomic counter and the first error is captured
 	// once-only by compare-and-swap.
 	var firstErr atomic.Pointer[error]
+	var prefiltered atomic.Int64
 	if len(toEval) > 0 {
 		workers := eng.workers
 		if workers > len(toEval) {
@@ -183,10 +213,16 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			//schedlint:allow hotalloc -- one closure per worker per batch, amortized over the whole generation's evaluations
-			go func(eval Evaluator) {
+			go func(ev workerEval) {
 				defer wg.Done()
 				for i := range next {
-					f, err := eval(inds[i].Alloc, rejectAbove)
+					var f float64
+					var err error
+					if ev.delta != nil && inds[i].parent != nil {
+						f, err = ev.delta(inds[i].Alloc, inds[i].parent, inds[i].mutated, rejectAbove)
+					} else {
+						f, err = ev.eval(inds[i].Alloc, rejectAbove)
+					}
 					switch {
 					case err == nil:
 						inds[i].Fitness = f
@@ -194,6 +230,9 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 						inds[i].Fitness = math.Inf(1)
 						errs[i] = err
 						rejected.Add(1)
+						if errors.Is(err, ErrRejectedPrefilter) {
+							prefiltered.Add(1)
+						}
 					default:
 						errs[i] = err
 						e := err // confine the escape to the error path
@@ -235,6 +274,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 
 	res.Evaluations += n
 	res.Rejections += int(rejected.Load())
+	res.PrefilterRejections += int(prefiltered.Load())
 	if p := firstErr.Load(); p != nil {
 		return *p
 	}

@@ -83,13 +83,16 @@ func RelativeMakespan(cfg RelMakespanConfig) (*RelMakespanResult, error) {
 	}
 	params.Workers = 1 // parallelism lives at the instance level
 
-	baseliners := make(map[string]alloc.Allocator, len(cfg.Baselines))
+	// Baselines stay an ordered slice, not a map: runInstance surfaces the
+	// FIRST baseline error per instance, and "first" must mean cfg.Baselines
+	// order, not map iteration order, for equal configs to fail identically.
+	baseliners := make([]namedAllocator, 0, len(cfg.Baselines))
 	for _, b := range cfg.Baselines {
 		al, err := baselineByName(b)
 		if err != nil {
 			return nil, err
 		}
-		baseliners[b] = al
+		baseliners = append(baseliners, namedAllocator{name: b, al: al})
 	}
 
 	type job struct {
@@ -164,9 +167,18 @@ func RelativeMakespan(cfg RelMakespanConfig) (*RelMakespanResult, error) {
 	return res, nil
 }
 
+// namedAllocator pairs a baseline heuristic with its config name, preserving
+// cfg.Baselines order through the per-instance loop.
+type namedAllocator struct {
+	name string
+	al   alloc.Allocator
+}
+
 // runInstance computes T_baseline / T_EMTS for one PTG on one cluster.
+// Baselines run in slice order so a failing instance reports the same
+// baseline's error on every run.
 func runInstance(g *dag.Graph, cluster platform.Cluster, m model.Model,
-	baseliners map[string]alloc.Allocator, params core.Params, wi, ci int) instanceOutcome {
+	baseliners []namedAllocator, params core.Params, wi, ci int) instanceOutcome {
 
 	out := instanceOutcome{workload: wi, cluster: ci, ratios: map[string]float64{}}
 	tab, err := model.NewTable(g, m, cluster)
@@ -185,10 +197,10 @@ func runInstance(g *dag.Graph, cluster platform.Cluster, m model.Model,
 		out.err = err
 		return out
 	}
-	for name, al := range baseliners {
-		a, err := al.Allocate(g, tab)
+	for _, b := range baseliners {
+		a, err := b.al.Allocate(g, tab)
 		if err != nil {
-			out.err = fmt.Errorf("exp: %s on %s/%s: %w", name, g.Name(), cluster.Name, err)
+			out.err = fmt.Errorf("exp: %s on %s/%s: %w", b.name, g.Name(), cluster.Name, err)
 			return out
 		}
 		ms, err := mapper.Makespan(a)
@@ -196,7 +208,7 @@ func runInstance(g *dag.Graph, cluster platform.Cluster, m model.Model,
 			out.err = err
 			return out
 		}
-		out.ratios[name] = ms / emtsRes.Makespan
+		out.ratios[b.name] = ms / emtsRes.Makespan
 	}
 	return out
 }

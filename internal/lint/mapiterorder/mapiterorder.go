@@ -154,14 +154,32 @@ func (c *checker) checkAssign(st *ast.AssignStmt, rs *ast.RangeStmt, funcBody *a
 		return
 	}
 	for i, lhs := range st.Lhs {
-		id, ok := lhs.(*ast.Ident)
-		if !ok {
-			continue // out[k] = v and field writes are keyed, not ordered
+		// Resolve the written location to its base identifier. Plain idents
+		// and field writes (out.err = ...) name ONE location, so last-wins
+		// order dependence applies to them alike; indexed writes are keyed
+		// per element and exempt only when the key itself varies with the
+		// iteration (out[k] = v) — a loop-invariant index is again a single
+		// location.
+		var id *ast.Ident
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			id = l
+		case *ast.SelectorExpr:
+			id = baseIdent(l.X)
+		case *ast.IndexExpr:
+			if c.mentionsAny(l.Index, iterVars) || c.dependsOnLoop(l.Index, rs) {
+				continue // keyed by the iteration element: order-independent
+			}
+			id = baseIdent(l.X)
+		}
+		if id == nil {
+			continue
 		}
 		obj := c.pass.ObjectOf(id)
 		if obj == nil || !declaredOutside(obj, rs) {
 			continue
 		}
+		target := types.ExprString(lhs)
 		rhs := st.Rhs[0]
 		if len(st.Rhs) == len(st.Lhs) {
 			rhs = st.Rhs[i]
@@ -169,18 +187,35 @@ func (c *checker) checkAssign(st *ast.AssignStmt, rs *ast.RangeStmt, funcBody *a
 		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.isBuiltinAppend(call) {
 			if !c.sortedAfter(obj, rs, funcBody) {
 				c.pass.Reportf(st.Pos(),
-					"append to %s inside range-over-map with no subsequent sort: element order depends on map iteration", id.Name)
+					"append to %s inside range-over-map with no subsequent sort: element order depends on map iteration", target)
 			}
 			continue
 		}
 		if !c.mentionsAny(rhs, iterVars) && !c.dependsOnLoop(rhs, rs) {
 			continue // assigning something loop-invariant; last-wins is still the same value
 		}
-		if c.isStrictExtremum(st, id, rhs) {
+		if c.isStrictExtremum(st, target, rhs) {
 			continue // if v < best { best = v }: the extremum is order-independent
 		}
 		c.pass.Reportf(st.Pos(),
-			"assignment to %s inside range-over-map depends on iteration order: which element wins is nondeterministic", id.Name)
+			"assignment to %s inside range-over-map depends on iteration order: which element wins is nondeterministic", target)
+	}
+}
+
+// baseIdent walks selector/index chains (a.b[i].c → a) to the root
+// identifier, or nil when the base is not an identifier.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
 	}
 }
 
@@ -230,7 +265,7 @@ func (c *checker) dependsOnLoop(expr ast.Expr, rs *ast.RangeStmt) bool {
 // carve-out applies to `best = v` only — `bestK = k` is still reported,
 // because on a fitness tie the winning key is whichever the runtime visits
 // first.
-func (c *checker) isStrictExtremum(st *ast.AssignStmt, lhs *ast.Ident, rhs ast.Expr) bool {
+func (c *checker) isStrictExtremum(st *ast.AssignStmt, lhs string, rhs ast.Expr) bool {
 	ifStmt, ok := c.guardOf[st]
 	if !ok || ifStmt.Else != nil {
 		return false
@@ -240,7 +275,7 @@ func (c *checker) isStrictExtremum(st *ast.AssignStmt, lhs *ast.Ident, rhs ast.E
 		return false
 	}
 	l, r := types.ExprString(cond.X), types.ExprString(cond.Y)
-	a, b := types.ExprString(rhs), lhs.Name
+	a, b := types.ExprString(rhs), lhs
 	return (l == a && r == b) || (l == b && r == a)
 }
 

@@ -109,3 +109,51 @@ func invert(m map[string]int) map[int]string {
 	}
 	return out
 }
+
+type outcome struct {
+	err  error
+	errs map[string]error
+	last string
+}
+
+// fieldLastWins: a field write names one location exactly like a plain
+// identifier, so which element's error survives depends on map order.
+func fieldLastWins(m map[string]error) outcome {
+	var out outcome
+	for k, err := range m {
+		if err != nil {
+			out.err = fmt.Errorf("%s: %w", k, err) // want `assignment to out\.err inside range-over-map depends on iteration order`
+		}
+	}
+	return out
+}
+
+// fieldKeyedWrites: indexing a field's map by the iteration key is still
+// keyed per element; not flagged.
+func fieldKeyedWrites(m map[string]error) outcome {
+	out := outcome{errs: make(map[string]error, len(m))}
+	for k, err := range m {
+		out.errs[k] = err
+	}
+	return out
+}
+
+// invariantIndexLastWins: a loop-invariant index is a single location, so
+// the write is last-wins just like a plain identifier.
+func invariantIndexLastWins(m map[string]int, dst []string) {
+	for k := range m {
+		dst[0] = k // want `assignment to dst\[0\] inside range-over-map depends on iteration order`
+	}
+}
+
+// fieldStrictExtremum: strict min tracking through a field is still
+// order-independent; not flagged.
+func fieldStrictExtremum(m map[string]string) outcome {
+	out := outcome{last: "\xff"}
+	for _, v := range m {
+		if v < out.last {
+			out.last = v
+		}
+	}
+	return out
+}

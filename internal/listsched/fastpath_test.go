@@ -1,0 +1,198 @@
+package listsched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"emts/internal/daggen"
+	"emts/internal/model"
+	"emts/internal/platform"
+	"emts/internal/schedule"
+)
+
+// checkPrefilterExactness verifies the Layer-1 contract on one (instance,
+// bound) pair: MakespanOpts must return the identical (value, error) outcome
+// with the prefilter on and off. Returns false on violation.
+func checkPrefilterExactness(m *Mapper, alloc schedule.Allocation, bound float64) bool {
+	on, onErr := m.MakespanOpts(alloc, Options{RejectAbove: bound})
+	off, offErr := m.MakespanOpts(alloc, Options{RejectAbove: bound, DisablePrefilter: true})
+	if errors.Is(onErr, ErrRejected) != errors.Is(offErr, ErrRejected) {
+		return false
+	}
+	if (onErr == nil) != (offErr == nil) {
+		return false
+	}
+	return onErr != nil || on == off
+}
+
+// TestPrefilterExactness is the satellite property test: across random
+// graphs, allocations, and bounds — including bounds straddling the true
+// makespan — the admissible lower-bound prefilter must never change the
+// (value, error) outcome of a bounded evaluation. This is the exactness
+// guarantee the memo cache and the determinism meta-tests rely on.
+func TestPrefilterExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, alloc, tab := randomInstance(rng)
+		m, err := NewMapper(g, tab)
+		if err != nil {
+			return false
+		}
+		full, err := m.Makespan(alloc)
+		if err != nil {
+			return false
+		}
+		bounds := []float64{
+			full * 0.25, full * 0.5, full * 0.999, full,
+			full * 1.0001, full * 1.5, full * 4,
+		}
+		for i := 0; i < 6; i++ {
+			bounds = append(bounds, full*(0.25+1.5*rng.Float64()))
+		}
+		for _, bound := range bounds {
+			if !checkPrefilterExactness(m, alloc, bound) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzPrefilterExactness is the fuzz-smoke version of TestPrefilterExactness:
+// the instance is derived from the fuzzed seed and the bound from the fuzzed
+// scale, so the corpus explores bound positions the fixed grid above misses.
+func FuzzPrefilterExactness(f *testing.F) {
+	f.Add(int64(1), 0.5)
+	f.Add(int64(7), 0.999)
+	f.Add(int64(42), 1.0)
+	f.Add(int64(99), 1.0001)
+	f.Add(int64(-3), 2.0)
+	f.Fuzz(func(t *testing.T, seed int64, scale float64) {
+		if scale != scale || scale <= 0 || scale > 1e6 {
+			return // NaN or useless bound; RejectAbove <= 0 disables rejection anyway
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g, alloc, tab := randomInstance(rng)
+		m, err := NewMapper(g, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := m.Makespan(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !checkPrefilterExactness(m, alloc, full*scale) {
+			t.Fatalf("prefilter on/off diverged: seed=%d scale=%g full=%g", seed, scale, full)
+		}
+	})
+}
+
+// mutateRandom derives a child from parent by mutating up to k random
+// positions, returning the child and the touched positions (possibly with
+// values equal to the parent's — the delta sweep must tolerate no-op
+// mutations).
+func mutateRandom(rng *rand.Rand, parent schedule.Allocation, k, procs int) (schedule.Allocation, []int) {
+	child := parent.Clone()
+	var mutated []int
+	for j := 0; j < k; j++ {
+		p := rng.Intn(len(child))
+		child[p] = 1 + rng.Intn(procs)
+		mutated = append(mutated, p)
+	}
+	return child, mutated
+}
+
+// TestMakespanDeltaMatchesFull is the Layer-3 property test: for random
+// instances, random parents, and random mutations (1 to V positions,
+// including duplicate positions and no-op mutations), MakespanDelta must
+// return the bit-identical (value, error) outcome of a full evaluation —
+// unbounded and across bounds straddling the makespan, with and without the
+// prefilter, and with the parent baseline both cold and warm.
+func TestMakespanDeltaMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, parent, tab := randomInstance(rng)
+		m, err := NewMapper(g, tab)
+		if err != nil {
+			return false
+		}
+		// Several offspring of the same parent: the first call builds the
+		// parent baseline, later ones replay it from the ring.
+		for trial := 0; trial < 6; trial++ {
+			child, mutated := mutateRandom(rng, parent, 1+rng.Intn(len(parent)), tab.Procs())
+			full, fullErr := m.MakespanOpts(child, Options{})
+			if fullErr != nil {
+				return false
+			}
+			got, gotErr := m.MakespanDelta(child, parent, mutated, Options{})
+			if gotErr != nil || got != full {
+				return false
+			}
+			for _, bound := range []float64{full * 0.5, full * 0.999, full, full * 1.5} {
+				for _, noPre := range []bool{false, true} {
+					opt := Options{RejectAbove: bound, DisablePrefilter: noPre}
+					want, wantErr := m.MakespanOpts(child, opt)
+					got, gotErr := m.MakespanDelta(child, parent, mutated, opt)
+					if errors.Is(wantErr, ErrRejected) != errors.Is(gotErr, ErrRejected) {
+						return false
+					}
+					if wantErr == nil && (gotErr != nil || got != want) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMakespanDeltaZeroAllocs pins the Layer-3 hot path: once the parent
+// baseline is cached, a delta evaluation performs zero heap allocations —
+// accepted or rejected.
+func TestMakespanDeltaZeroAllocs(t *testing.T) {
+	g, err := daggen.Random(daggen.RandomConfig{
+		N: 300, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 2,
+	}, daggen.DefaultCosts(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := model.MustTable(g, model.Synthetic{}, platform.Grelon())
+	m, err := NewMapper(g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := schedule.Ones(g.NumTasks())
+	for i := range parent {
+		parent[i] = 1 + i%tab.Procs()
+	}
+	rng := rand.New(rand.NewSource(3))
+	child, mutated := mutateRandom(rng, parent, 5, tab.Procs())
+	full, err := m.MakespanDelta(child, parent, mutated, Options{}) // warm up: builds the baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := m.MakespanDelta(child, parent, mutated, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm MakespanDelta allocates %.1f times per call, want 0", avg)
+	}
+	avg = testing.AllocsPerRun(100, func() {
+		if _, err := m.MakespanDelta(child, parent, mutated, Options{RejectAbove: full / 2}); !errors.Is(err, ErrRejected) {
+			t.Fatalf("expected rejection, got %v", err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm rejected MakespanDelta allocates %.1f times per call, want 0", avg)
+	}
+}

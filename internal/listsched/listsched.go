@@ -19,6 +19,7 @@ package listsched
 
 import (
 	"errors"
+	"fmt"
 
 	"emts/internal/dag"
 	"emts/internal/model"
@@ -28,6 +29,13 @@ import (
 // ErrRejected reports that mapping was aborted because the partial schedule
 // provably could not beat Options.RejectAbove.
 var ErrRejected = errors.New("listsched: schedule rejected by makespan bound")
+
+// ErrRejectedPrefilter is the ErrRejected variant raised by the O(V)
+// lower-bound prefilter that runs before the map loop (DESIGN.md §10). It
+// wraps ErrRejected, so errors.Is(err, ErrRejected) matches both; callers
+// that care which layer fired (counters, benchmarks) test for this sentinel
+// specifically.
+var ErrRejectedPrefilter = fmt.Errorf("%w (lower-bound prefilter)", ErrRejected)
 
 // Options tunes the mapping step.
 type Options struct {
@@ -42,6 +50,12 @@ type Options struct {
 	// matter), but the resulting schedule will not pass Schedule.Validate.
 	// Fitness evaluation uses this to avoid per-task allocations.
 	SkipProcSets bool
+	// DisablePrefilter skips the O(V) admissible lower-bound prefilter that
+	// normally runs between the bottom-level sweep and the map loop when
+	// RejectAbove is set. The prefilter is exact — it fires only when the
+	// in-loop rejection check would also fire — so this switch exists purely
+	// for A/B regression tests and benchmarks, like ea.Config.DisableCache.
+	DisablePrefilter bool
 }
 
 // Cost adapts an execution-time table and an allocation into the dag.CostFunc

@@ -37,7 +37,44 @@ type Mapper struct {
 	avail     []float64
 	order     []int
 	scratch   []int
+	mark      []bool
 	ready     blHeap
+
+	// Delta-evaluation state (DESIGN.md §10, Layer 3). topoPos[v] is v's
+	// index in the graph's topological order and topoOrder is its inverse.
+	// MakespanDelta walks topoOrder backwards from the highest mutated
+	// position, recomputing only tasks flagged dirty in inq, so every
+	// successor's bottom level is final before a task is recomputed. A clean
+	// task costs one flag load, which keeps the sweep no worse than the full
+	// O(V+E) one even when most of the graph is affected. inq is cleared as
+	// tasks are visited, so no O(V) reset is needed between calls.
+	topoPos   []int32
+	topoOrder []dag.TaskID
+	inq       []bool
+
+	// baselines is a small ring of parent bottom-level rows keyed by the
+	// identity (&parent[0]) of the parent's allocation vector. Identity
+	// keying is sound because the EA never mutates a parent vector after
+	// selection, and holding the pointer keeps the backing array alive, so
+	// an address is never reused while its entry is cached.
+	baselines [baselineCap]blBaseline
+	nextBase  int
+}
+
+// baselineCap bounds the baseline ring: parents per generation is μ (≤ 10
+// for the paper's strategies), so 16 slots cover a full generation with room
+// for the incumbent best.
+const baselineCap = 16
+
+// deltaMutatedDenom gates MakespanDelta: the delta sweep engages only when
+// mutated positions number at most NumTasks/deltaMutatedDenom. Measured on
+// the 100-task EMTS5 instance benchmark, the crossover between the delta and
+// full sweeps sits near a quarter of the tasks mutated.
+const deltaMutatedDenom = 4
+
+type blBaseline struct {
+	key *int
+	bl  []float64
 }
 
 // NewMapper returns a Mapper for the given graph and execution-time table.
@@ -55,7 +92,19 @@ func NewMapper(g *dag.Graph, tab *model.Table) (*Mapper, error) {
 	m.avail = make([]float64, m.procs)
 	m.order = make([]int, m.procs)
 	m.scratch = make([]int, m.procs)
+	m.mark = make([]bool, m.procs)
 	m.ready.items = make([]dag.TaskID, 0, n)
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		return nil, err
+	}
+	m.topoPos = make([]int32, n)
+	m.topoOrder = make([]dag.TaskID, n)
+	for i, v := range order {
+		m.topoPos[v] = int32(i)
+		m.topoOrder[i] = v
+	}
+	m.inq = make([]bool, n)
 	return m, nil
 }
 
@@ -77,6 +126,133 @@ func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
 //schedlint:hotpath
 func (m *Mapper) MakespanBounded(alloc schedule.Allocation, rejectAbove float64) (float64, error) {
 	return m.mapLoop(alloc, Options{SkipProcSets: true, RejectAbove: rejectAbove}, nil)
+}
+
+// MakespanOpts is Makespan with full Options control (rejection bound,
+// prefilter switch). SkipProcSets is implied: no schedule is materialized.
+//
+//schedlint:hotpath
+func (m *Mapper) MakespanOpts(alloc schedule.Allocation, opt Options) (float64, error) {
+	opt.SkipProcSets = true
+	return m.mapLoop(alloc, opt, nil)
+}
+
+// MakespanDelta is MakespanOpts for an offspring whose allocation differs
+// from a known parent only at the given mutated positions. Instead of the
+// full O(V+E) bottom-level sweep it copies the parent's cached bottom levels
+// and recomputes only the mutated tasks and those of their ancestors whose
+// value actually changes, in reverse-topological order with the exact same
+// formula as dag.BottomLevelsInto — so the resulting array, and therefore
+// the schedule, is bit-for-bit identical to a full evaluation (DESIGN.md
+// §10, Layer 3).
+//
+// The caller contract: parent must be a live, never-again-mutated allocation
+// vector (EA parents satisfy this), len(parent) == len(alloc), and alloc[i]
+// == parent[i] for every i not listed in mutated. mutated may list positions
+// whose new value equals the old one; those simply terminate propagation
+// immediately. If parent is nil or the lineage is unusable, this falls back
+// to MakespanOpts.
+//
+//schedlint:hotpath
+func (m *Mapper) MakespanDelta(alloc, parent schedule.Allocation, mutated []int, opt Options) (float64, error) {
+	opt.SkipProcSets = true
+	n := m.g.NumTasks()
+	if parent == nil || len(parent) != len(alloc) || len(alloc) != n || len(mutated) == 0 {
+		return m.mapLoop(alloc, opt, nil)
+	}
+	// The delta sweep only wins while the affected region is small: every
+	// changed task also scans its predecessor list to flag ancestors, so once
+	// a sizable fraction of tasks mutates the sweep costs more than the plain
+	// linear one. Mutation counts decay over generations (Eq. 1), so early
+	// broad steps fall through to the full sweep and later refinement steps
+	// take the delta path. Both paths are bit-identical by construction.
+	if len(mutated)*deltaMutatedDenom > n {
+		return m.mapLoop(alloc, opt, nil)
+	}
+	if err := alloc.Validate(m.g, m.procs); err != nil {
+		return 0, err
+	}
+	base, err := m.baseline(parent)
+	if err != nil {
+		return 0, err
+	}
+	bl := m.bl[:n]
+	copy(bl, base)
+
+	// Recompute affected bottom levels: flag the mutated tasks dirty, then
+	// walk the topological order backwards from the highest flagged position
+	// so successors are final before their predecessors, and stop propagating
+	// wherever the recomputed value is bitwise unchanged. pending counts
+	// outstanding dirty tasks (predecessors always sit at lower positions, so
+	// none can be missed) and lets the walk exit as soon as the last one is
+	// resolved.
+	g := m.g
+	m.cur = alloc
+	pending := 0
+	maxPos := int32(-1)
+	for _, p := range mutated {
+		v := dag.TaskID(p)
+		if !m.inq[v] {
+			m.inq[v] = true
+			pending++
+			if m.topoPos[v] > maxPos {
+				maxPos = m.topoPos[v]
+			}
+		}
+	}
+	order := m.topoOrder
+	for pos := maxPos; pos >= 0 && pending > 0; pos-- {
+		v := order[pos]
+		if !m.inq[v] {
+			continue
+		}
+		m.inq[v] = false
+		pending--
+		maxSucc := 0.0
+		for _, s := range g.Successors(v) {
+			if bl[s] > maxSucc {
+				maxSucc = bl[s]
+			}
+		}
+		nb := m.cost(v) + maxSucc
+		//schedlint:allow floateq -- bitwise change detection: propagation stops exactly when the recomputed value equals the stored one, which keeps the delta sweep bit-identical to a full sweep
+		if nb == bl[v] {
+			continue
+		}
+		bl[v] = nb
+		for _, q := range g.Predecessors(v) {
+			if !m.inq[q] {
+				m.inq[q] = true
+				pending++
+			}
+		}
+	}
+	m.cur = nil
+	return m.run(alloc, opt, nil)
+}
+
+// baseline returns the cached bottom-level row for parent, computing and
+// caching it on first sight. Rows are keyed by &parent[0]; see the field
+// comment on Mapper.baselines for why pointer identity is sound.
+//
+//schedlint:hotpath
+func (m *Mapper) baseline(parent schedule.Allocation) ([]float64, error) {
+	key := &parent[0]
+	for i := range m.baselines {
+		if m.baselines[i].key == key {
+			return m.baselines[i].bl, nil
+		}
+	}
+	if err := parent.Validate(m.g, m.procs); err != nil {
+		return nil, err
+	}
+	slot := &m.baselines[m.nextBase]
+	m.nextBase = (m.nextBase + 1) % baselineCap
+	m.cur = parent
+	slot.bl = m.g.BottomLevelsInto(m.cost, slot.bl)
+	m.cur = nil
+	slot.key = key
+	return slot.bl, nil
 }
 
 // Map builds the full schedule for the given allocation with default options.
@@ -108,7 +284,7 @@ func (m *Mapper) MapWithOptions(alloc schedule.Allocation, opt Options) (*schedu
 //
 //schedlint:hotpath
 func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
-	g, tab := m.g, m.tab
+	g := m.g
 	if err := alloc.Validate(g, m.procs); err != nil {
 		return 0, err
 	}
@@ -118,7 +294,22 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 	m.bl = bl
 	m.cur = nil // cost is not consulted past this point; drop the reference
 
+	return m.run(alloc, opt, entries)
+}
+
+// run is the map loop proper. It assumes alloc has been validated and m.bl
+// holds the bottom levels for alloc (either from a full sweep or a delta
+// update — both produce identical bits).
+//
+//schedlint:hotpath
+func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
+	g, tab := m.g, m.tab
 	n := g.NumTasks()
+	bl := m.bl[:n]
+
+	if opt.RejectAbove > 0 && !opt.DisablePrefilter && m.prefilterReject(alloc, bl, opt.RejectAbove) {
+		return 0, ErrRejectedPrefilter
+	}
 	indeg := m.indeg[:n]
 	copy(indeg, g.Indegrees())
 	readyTime := m.readyTime[:n]
@@ -148,6 +339,7 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 		order[i] = i
 	}
 	scratch := m.scratch[:m.procs]
+	mark := m.mark[:m.procs]
 	placed := 0
 	makespan := 0.0
 
@@ -186,26 +378,41 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 
 		for _, p := range chosen {
 			avail[p] = end
+			mark[p] = true
 		}
-		// Restore order: the updated processors share avail == end, so sort
-		// them by index among themselves and merge with the untouched,
-		// still-sorted tail.
-		sort.Ints(chosen)
+		// Restore order: the updated processors all share avail == end, so
+		// among themselves they order by index — which the mark bitmap
+		// yields directly with an ascending scan, no sort — and one merge
+		// pass with the untouched, still-sorted tail restores the invariant
+		// in O(P).
 		merged := scratch[:0]
 		rest := order[s:]
-		i, j := 0, 0
-		for i < len(chosen) && j < len(rest) {
-			a, r := chosen[i], rest[j]
+		j, p, remaining := 0, 0, s
+		for remaining > 0 && j < len(rest) {
+			for !mark[p] {
+				p++
+			}
+			r := rest[j]
 			//schedlint:allow floateq -- exact tie-break: equal availability resolves by processor index, which is what makes "the first processor set" deterministic
-			if avail[a] < avail[r] || (avail[a] == avail[r] && a < r) {
-				merged = append(merged, a)
-				i++
+			if avail[p] < avail[r] || (avail[p] == avail[r] && p < r) {
+				merged = append(merged, p)
+				mark[p] = false
+				p++
+				remaining--
 			} else {
 				merged = append(merged, r)
 				j++
 			}
 		}
-		merged = append(merged, chosen[i:]...)
+		for remaining > 0 {
+			for !mark[p] {
+				p++
+			}
+			merged = append(merged, p)
+			mark[p] = false
+			p++
+			remaining--
+		}
 		merged = append(merged, rest[j:]...)
 		copy(order, merged)
 
@@ -225,6 +432,51 @@ func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []sched
 		return 0, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
 	}
 	return makespan, nil
+}
+
+// areaSlack is the relative tolerance applied to the area lower bound. The
+// bound Σ s(v)·T(v,s(v)) ≤ P·M holds exactly in real arithmetic, but the
+// float sum accumulates rounding of order V·ε ≈ 1e-14 for V = 100; a slack
+// of 1e-9 is orders of magnitude wider than that while still far below any
+// meaningful makespan difference, so the comparison can only under-reject —
+// never reject an allocation the map loop would have accepted. Admissibility
+// is therefore preserved (DESIGN.md §10, Layer 1).
+const areaSlack = 1e-9
+
+// prefilterReject reports whether two O(V) admissible lower bounds on the
+// makespan already exceed bound, in which case the in-loop rejection check
+// is guaranteed to fire and the map loop can be skipped entirely:
+//
+//   - Critical-path bound: max_v bl(v). The first task popped by the map
+//     loop is the source with the largest bottom level, started at time 0,
+//     so its in-loop check start+bl = max bl fires iff this bound exceeds
+//     the threshold — the prefilter is exact for this bound, no slack
+//     needed.
+//   - Area bound: Σ s(v)·T(v,s(v)) / P. All work must fit into P processors
+//     within the makespan, so makespan ≥ area/P; compared with relative
+//     slack areaSlack to absorb summation rounding (see above).
+//
+// Both are true lower bounds, so a prefilter rejection implies the in-loop
+// check would have rejected as well: results with the prefilter on and off
+// are bit-identical.
+//
+//schedlint:hotpath
+func (m *Mapper) prefilterReject(alloc schedule.Allocation, bl []float64, bound float64) bool {
+	maxBL := 0.0
+	for _, b := range bl {
+		if b > maxBL {
+			maxBL = b
+		}
+	}
+	if maxBL > bound {
+		return true
+	}
+	area := 0.0
+	tab := m.tab
+	for v, s := range alloc {
+		area += float64(s) * tab.Time(dag.TaskID(v), s)
+	}
+	return area > bound*float64(m.procs)*(1+areaSlack)
 }
 
 // blHeap is a max-heap of ready tasks ordered by bottom level (largest

@@ -182,13 +182,25 @@ func (f Func) Name() string {
 func (f Func) Time(v dag.Task, p int, c platform.Cluster) float64 { return f.F(v, p, c) }
 
 // Table is a fully materialized execution-time table for one graph on one
-// cluster: times[v][p-1] = T(v, p). Building the table evaluates the
+// cluster: T(v, p) = times[v*procs + p-1]. Building the table evaluates the
 // underlying model V*P times once; afterwards every query is an array load.
 // All scheduling algorithms in this repository work from a Table.
+//
+// The layout is a single row-major []float64 rather than a slice of per-task
+// rows: Time is the single most frequent call in the fitness evaluation (V·P
+// probes per mapping), and the flat layout removes one pointer chase per
+// probe while keeping each task's row contiguous and cache-resident.
 type Table struct {
 	name  string
 	procs int
-	times [][]float64
+	tasks int
+	times []float64
+}
+
+// row returns the contiguous P execution times of task v.
+func (t *Table) row(v dag.TaskID) []float64 {
+	lo := int(v) * t.procs
+	return t.times[lo : lo+t.procs]
 }
 
 // NewTable evaluates m for every task of g and every processor count
@@ -199,10 +211,11 @@ func NewTable(g *dag.Graph, m Model, c platform.Cluster) (*Table, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	t := &Table{name: m.Name(), procs: c.Procs, times: make([][]float64, g.NumTasks())}
-	for i := 0; i < g.NumTasks(); i++ {
+	n := g.NumTasks()
+	t := &Table{name: m.Name(), procs: c.Procs, tasks: n, times: make([]float64, n*c.Procs)}
+	for i := 0; i < n; i++ {
 		task := g.Task(dag.TaskID(i))
-		row := make([]float64, c.Procs)
+		row := t.row(dag.TaskID(i))
 		for p := 1; p <= c.Procs; p++ {
 			v := m.Time(task, p, c)
 			if !(v > 0) || math.IsInf(v, 0) {
@@ -210,7 +223,6 @@ func NewTable(g *dag.Graph, m Model, c platform.Cluster) (*Table, error) {
 			}
 			row[p-1] = v
 		}
-		t.times[i] = row
 	}
 	return t, nil
 }
@@ -231,16 +243,19 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Procs() int { return t.procs }
 
 // NumTasks returns the number of tasks the table covers.
-func (t *Table) NumTasks() int { return len(t.times) }
+func (t *Table) NumTasks() int { return t.tasks }
 
 // Time returns T(v, p). It panics if v or p is out of range, consistent with
 // slice indexing: allocation code must clamp p to [1, Procs] beforehand.
-func (t *Table) Time(v dag.TaskID, p int) float64 { return t.times[v][p-1] }
+//
+//schedlint:hotpath
+func (t *Table) Time(v dag.TaskID, p int) float64 { return t.times[int(v)*t.procs+p-1] }
 
 // Monotone reports whether T(v, p) is non-increasing in p for every task,
 // i.e. whether the "monotonous penalty assumption" holds for this table.
 func (t *Table) Monotone() bool {
-	for _, row := range t.times {
+	for v := 0; v < t.tasks; v++ {
+		row := t.row(dag.TaskID(v))
 		for p := 1; p < len(row); p++ {
 			if row[p] > row[p-1] {
 				return false
@@ -254,7 +269,7 @@ func (t *Table) Monotone() bool {
 // T(v, p), with ties broken toward fewer processors. Useful for bounding and
 // diagnostics under non-monotonic models.
 func (t *Table) BestProcs(v dag.TaskID) int {
-	row := t.times[v]
+	row := t.row(v)
 	best := 0
 	for p := 1; p < len(row); p++ {
 		if row[p] < row[best] {

@@ -1,0 +1,246 @@
+// Command emts-loadgen is a closed-loop load generator for emts-serve: it
+// replays generated FFT, Strassen, and DAGGEN-style random PTGs against the
+// /v1/schedule endpoint and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	emts-loadgen [-url http://localhost:8080] [-c 4] [-duration 10s]
+//	             [-graphs fft8,strassen,random50] [-algo emts5]
+//	             [-model synthetic] [-cluster chti] [-seeds 8] [-seed 1]
+//
+// Closed loop means each of the c workers keeps exactly one request in
+// flight: a new request starts only when the previous response arrives, so
+// offered load adapts to service capacity instead of overrunning it. Seeds
+// vary across requests (-seeds distinct values), which controls the server's
+// response-cache hit rate: -seeds 1 measures pure cache service, large
+// values measure pure compute.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"emts/internal/dag"
+	"emts/internal/daggen"
+	"emts/internal/server"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "server base URL")
+		conc     = flag.Int("c", 4, "concurrent closed-loop workers")
+		duration = flag.Duration("duration", 10*time.Second, "test duration")
+		graphs   = flag.String("graphs", "fft8,strassen,random50", "comma-separated workloads: fftN, strassen, randomN")
+		algo     = flag.String("algo", "emts5", "algorithm to request")
+		model    = flag.String("model", "synthetic", "execution-time model to request")
+		cluster  = flag.String("cluster", "chti", "cluster preset (chti, grelon)")
+		seeds    = flag.Int("seeds", 8, "distinct request seeds per workload (1 = all cache hits after warmup)")
+		seed     = flag.Int64("seed", 1, "base seed for graph generation and request seeds")
+		timeout  = flag.Duration("timeout", time.Minute, "per-request client timeout")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *url, *graphs, *algo, *model, *cluster, *conc, *seeds, *seed, *duration, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// buildBodies pre-marshals every request body: workloads × seeds. Marshaling
+// outside the measurement loop keeps the client overhead out of the
+// latencies.
+func buildBodies(graphSpecs, algo, model, cluster string, nSeeds int, baseSeed int64) ([][]byte, error) {
+	var bodies [][]byte
+	for _, spec := range strings.Split(graphSpecs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		g, err := generate(spec, baseSeed)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(g)
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < nSeeds; s++ {
+			req := server.ScheduleRequest{
+				Graph:     raw,
+				Cluster:   server.ClusterSpec{Preset: cluster},
+				Model:     model,
+				Algorithm: algo,
+				Seed:      baseSeed + int64(s),
+			}
+			b, err := json.Marshal(req)
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, b)
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, fmt.Errorf("no workloads in -graphs")
+	}
+	return bodies, nil
+}
+
+// generate builds one PTG from a workload spec.
+func generate(spec string, seed int64) (*dag.Graph, error) {
+	costs := daggen.DefaultCosts()
+	switch {
+	case spec == "strassen":
+		return daggen.Strassen(costs, seed)
+	case strings.HasPrefix(spec, "fft"):
+		points, err := strconv.Atoi(spec[len("fft"):])
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: want fftN (e.g. fft8)", spec)
+		}
+		return daggen.FFT(points, costs, seed)
+	case strings.HasPrefix(spec, "random"):
+		n, err := strconv.Atoi(spec[len("random"):])
+		if err != nil {
+			return nil, fmt.Errorf("workload %q: want randomN (e.g. random50)", spec)
+		}
+		cfg := daggen.RandomConfig{N: n, Width: 0.5, Regularity: 0.8, Density: 0.5, Jump: 1}
+		return daggen.Random(cfg, costs, seed)
+	}
+	return nil, fmt.Errorf("unknown workload %q (fftN, strassen, randomN)", spec)
+}
+
+// result aggregates one worker's observations.
+type result struct {
+	latencies []time.Duration // successful (200) requests only
+	codes     map[int]int
+	cacheHits int
+	firstErr  error
+}
+
+func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSeeds int, baseSeed int64, duration, timeout time.Duration) error {
+	if conc < 1 {
+		return fmt.Errorf("-c %d, want >= 1", conc)
+	}
+	bodies, err := buildBodies(graphSpecs, algo, model, cluster, nSeeds, baseSeed)
+	if err != nil {
+		return err
+	}
+	target := strings.TrimSuffix(url, "/") + "/v1/schedule"
+	client := &http.Client{Timeout: timeout}
+
+	deadline := time.Now().Add(duration)
+	results := make([]result, conc)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker RNG: pick bodies in a random but reproducible order
+			// so concurrent workers don't sweep the cache in lockstep.
+			rng := rand.New(rand.NewSource(baseSeed + int64(w)))
+			res := result{codes: make(map[int]int)}
+			for time.Now().Before(deadline) {
+				body := bodies[rng.Intn(len(bodies))]
+				start := time.Now()
+				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
+				elapsed := time.Since(start)
+				if err != nil {
+					if res.firstErr == nil {
+						res.firstErr = err
+					}
+					res.codes[-1]++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.codes[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					res.latencies = append(res.latencies, elapsed)
+					if resp.Header.Get("X-Emts-Cache") == "hit" {
+						res.cacheHits++
+					}
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Closed-loop backoff: honor Retry-After if parseable.
+					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+						time.Sleep(time.Duration(ra) * time.Second / 4)
+					}
+				}
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	return report(out, results, duration)
+}
+
+func report(out io.Writer, results []result, duration time.Duration) error {
+	var all []time.Duration
+	codes := make(map[int]int)
+	hits := 0
+	var firstErr error
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		for c, n := range r.codes {
+			codes[c] += n
+		}
+		hits += r.cacheHits
+		if firstErr == nil {
+			firstErr = r.firstErr
+		}
+	}
+	total := 0
+	codeList := make([]int, 0, len(codes))
+	for c := range codes {
+		codeList = append(codeList, c)
+	}
+	sort.Ints(codeList)
+	for _, c := range codeList {
+		total += codes[c]
+	}
+
+	fmt.Fprintf(out, "requests:   %d in %s (%.1f req/s)\n", total, duration, float64(total)/duration.Seconds())
+	for _, c := range codeList {
+		label := strconv.Itoa(c)
+		if c == -1 {
+			label = "transport error"
+		}
+		fmt.Fprintf(out, "  %-16s %d\n", label, codes[c])
+	}
+	if len(all) == 0 {
+		if firstErr != nil {
+			return fmt.Errorf("no successful requests (first error: %v)", firstErr)
+		}
+		return fmt.Errorf("no successful requests")
+	}
+	fmt.Fprintf(out, "cache hits: %d/%d (%.1f%%)\n", hits, len(all), 100*float64(hits)/float64(len(all)))
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Fprintf(out, "latency:    p50 %s  p95 %s  p99 %s  max %s\n",
+		percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99), all[len(all)-1])
+	return nil
+}
+
+// percentile returns the q-quantile by the nearest-rank method; all must be
+// sorted ascending.
+func percentile(all []time.Duration, q float64) time.Duration {
+	if len(all) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(all))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(all) {
+		i = len(all) - 1
+	}
+	return all[i]
+}

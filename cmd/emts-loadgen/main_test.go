@@ -1,0 +1,82 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"emts/internal/server"
+)
+
+func TestGenerateSpecs(t *testing.T) {
+	for _, spec := range []string{"fft8", "strassen", "random20"} {
+		g, err := generate(spec, 1)
+		if err != nil {
+			t.Fatalf("generate(%q): %v", spec, err)
+		}
+		if g.NumTasks() == 0 {
+			t.Fatalf("generate(%q): empty graph", spec)
+		}
+	}
+	for _, spec := range []string{"fftx", "random", "cube3"} {
+		if _, err := generate(spec, 1); err == nil {
+			t.Fatalf("generate(%q): want error", spec)
+		}
+	}
+}
+
+func TestBuildBodies(t *testing.T) {
+	bodies, err := buildBodies("fft4,strassen", "emts5", "synthetic", "chti", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 6 { // 2 workloads x 3 seeds
+		t.Fatalf("len(bodies) = %d, want 6", len(bodies))
+	}
+	if _, err := buildBodies(" , ", "emts5", "synthetic", "chti", 1, 1); err == nil {
+		t.Fatal("empty workload list accepted")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	all := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{{0.50, 5}, {0.90, 9}, {0.95, 10}, {0.99, 10}, {1.0, 10}}
+	for _, tc := range cases {
+		if got := percentile(all, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %d, want 0", got)
+	}
+}
+
+// TestRunAgainstServer drives the full closed loop against a real in-process
+// server and checks the report.
+func TestRunAgainstServer(t *testing.T) {
+	svc := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var out strings.Builder
+	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 2, 2, 1, 300*time.Millisecond, 5*time.Second)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"requests:", "200", "cache hits:", "latency:", "p50", "p99"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestRunRejectsBadConcurrency(t *testing.T) {
+	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 0, 1, 1, time.Millisecond, time.Second); err == nil {
+		t.Fatal("want error for -c 0")
+	}
+}

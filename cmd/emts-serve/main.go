@@ -1,0 +1,106 @@
+// Command emts-serve runs the EMTS scheduling service: an HTTP/JSON API over
+// every scheduler in the repository, with a bounded worker pool, admission
+// control, request deadlines, a canonical-hash response cache, Prometheus
+// metrics, and graceful shutdown.
+//
+// Usage:
+//
+//	emts-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 30s]
+//	           [-cache 256] [-max-tasks 20000] [-quiet]
+//
+// Endpoints:
+//
+//	POST /v1/schedule   schedule a PTG (see README "Serving" for the body)
+//	GET  /v1/algorithms list accepted algorithm and model names
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       Prometheus text metrics
+//
+// SIGINT/SIGTERM initiate a graceful shutdown: readiness flips to 503,
+// queued requests finish, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emts/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "admission queue depth (overflow returns 429)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request compute deadline (negative disables)")
+		cache     = flag.Int("cache", 256, "response cache entries (negative disables)")
+		maxTasks  = flag.Int("max-tasks", 20000, "largest accepted graph (negative disables)")
+		drainWait = flag.Duration("drain", time.Minute, "shutdown drain budget")
+		quiet     = flag.Bool("quiet", false, "suppress request logs")
+	)
+	flag.Parse()
+	var logW io.Writer = os.Stderr
+	if *quiet {
+		logW = nil
+	}
+	cfg := server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cache,
+		MaxTasks:       *maxTasks,
+		LogWriter:      logW,
+	}
+	if err := serve(*addr, cfg, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "emts-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr string, cfg server.Config, drainWait time.Duration) error {
+	svc := server.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "emts-serve: listening on %s\n", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "emts-serve: %s, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	defer cancel()
+	// Drain order: service first (readiness flips, queue drains, workers
+	// idle), then the HTTP listener (open connections finish their writes).
+	if err := svc.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "emts-serve: drained, bye")
+	return nil
+}

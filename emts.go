@@ -21,6 +21,7 @@
 package emts
 
 import (
+	"context"
 	"io"
 
 	"emts/internal/alloc"
@@ -196,11 +197,19 @@ func DefaultParams(seed int64) Params { return core.DefaultParams(seed) }
 
 // Optimize runs EMTS on graph g scheduled onto cluster c under model m.
 func Optimize(g *Graph, c Cluster, m Model, p Params) (*Result, error) {
+	return OptimizeContext(context.Background(), g, c, m, p)
+}
+
+// OptimizeContext is Optimize with cooperative cancellation: the evolutionary
+// loop observes ctx once per generation, so an in-flight optimization stops
+// within one generation of cancellation. A run that completes is
+// bit-identical to the same seed without a context.
+func OptimizeContext(ctx context.Context, g *Graph, c Cluster, m Model, p Params) (*Result, error) {
 	tab, err := model.NewTable(g, m, c)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(g, tab, p)
+	return core.RunContext(ctx, g, tab, p)
 }
 
 // OptimizeTable is Optimize for callers that already built the time table.
@@ -214,6 +223,22 @@ func OptimizeTable(g *Graph, tab *TimeTable, p Params) (*Result, error) {
 func Run(g *Graph, c Cluster, modelName, algorithm string, seed int64) (*Report, error) {
 	return sim.Run(g, c, modelName, algorithm, seed)
 }
+
+// RunContext is Run with cooperative cancellation (see OptimizeContext).
+func RunContext(ctx context.Context, g *Graph, c Cluster, modelName, algorithm string, seed int64) (*Report, error) {
+	return sim.RunContext(ctx, g, c, modelName, algorithm, seed)
+}
+
+// Typed sentinels distinguishing caller mistakes from internal failures in
+// Run, RunContext, and Compare. Servers map them to 4xx responses.
+var (
+	// ErrUnknownAlgorithm reports an algorithm name outside Algorithms().
+	ErrUnknownAlgorithm = sim.ErrUnknownAlgorithm
+	// ErrUnknownModel reports a model name outside Models().
+	ErrUnknownModel = sim.ErrUnknownModel
+	// ErrBadCluster reports an invalid cluster description.
+	ErrBadCluster = sim.ErrBadCluster
+)
 
 // Compare runs several algorithms on the same instance (sharing one
 // execution-time table) and returns the reports sorted by makespan.

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"emts/internal/ea"
+	"emts/internal/model"
+)
+
+// TestRunContextCancelMidEA cancels an EMTS run from the per-generation hook
+// and asserts the run aborts with context.Canceled instead of completing all
+// generations.
+func TestRunContextCancelMidEA(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomPTG(rng, 25)
+	tab := model.MustTable(g, model.Synthetic{}, testCluster)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := EMTS10(9)
+	p.OnGeneration = func(ea.GenStats) {
+		calls++
+		cancel()
+	}
+	_, err := RunContext(ctx, g, tab, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("EA ran %d generations after cancellation, want stop within one", calls-1)
+	}
+}
+
+// TestRunContextTransparent asserts that running under a live context is
+// bit-identical to Run with the same seed.
+func TestRunContextTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomPTG(rng, 25)
+	tab := model.MustTable(g, model.Synthetic{}, testCluster)
+
+	plain, err := Run(g, tab, EMTS5(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := RunContext(ctx, g, tab, EMTS5(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Makespan != withCtx.Makespan || !reflect.DeepEqual(plain.Alloc, withCtx.Alloc) ||
+		!reflect.DeepEqual(plain.History, withCtx.History) {
+		t.Fatal("RunContext result differs from Run with the same seed")
+	}
+}

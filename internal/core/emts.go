@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -169,6 +170,15 @@ func (r *Result) BestSeedMakespan() float64 {
 // Run executes EMTS on graph g with execution times tab (which also carries
 // the processor count of the platform).
 func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
+	return RunContext(context.Background(), g, tab, p)
+}
+
+// RunContext is Run with cooperative cancellation: the evolutionary loop
+// observes ctx once per generation (see ea.RunContext), so an in-flight
+// optimization stops within one generation of ctx being cancelled or its
+// deadline passing. Cancellation never perturbs results — a run that
+// completes is bit-identical to the same seed without a context.
+func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 	if g.NumTasks() == 0 {
 		return nil, errors.New("emts: empty graph")
 	}
@@ -286,7 +296,7 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 		InitialSigma:          p.InitialSigma,
 		OnGeneration:          p.OnGeneration,
 	}
-	run, err := ea.Run(cfg, g.NumTasks(), procs, seedAllocs, fitness)
+	run, err := ea.RunContext(ctx, cfg, g.NumTasks(), procs, seedAllocs, fitness)
 	if err != nil {
 		return nil, err
 	}

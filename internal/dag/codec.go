@@ -2,10 +2,38 @@ package dag
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
+
+// DecodeError is a typed validation failure of untrusted PTG input. Field
+// names the offending JSON element in path syntax (e.g. "tasks[3].flops" or
+// "edges[7]"), so servers can turn the error into a precise 400 response.
+// DecodeError wraps the underlying sentinel (e.g. ErrCycle) when one exists.
+type DecodeError struct {
+	// Field is the JSON path of the offending element.
+	Field string
+	// Msg describes the violation.
+	Msg string
+	// Err is the underlying error, if any (e.g. ErrCycle).
+	Err error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("dag: invalid PTG: %s: %s", e.Field, e.Msg)
+}
+
+// Unwrap exposes the underlying sentinel to errors.Is.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// decodeErrorf builds a DecodeError with a formatted field path.
+func decodeErrorf(err error, field string, msg string, args ...interface{}) *DecodeError {
+	return &DecodeError{Field: field, Msg: fmt.Sprintf(msg, args...), Err: err}
+}
 
 // fileGraph is the on-disk JSON representation of a PTG, the format read by
 // the simulator (Section IV: "the simulator reads the description of the
@@ -42,7 +70,10 @@ func (g *Graph) Write(w io.Writer) error {
 	return enc.Encode(g)
 }
 
-// Read decodes a PTG from its JSON file format and validates it.
+// Read decodes a PTG from its JSON file format and validates it. The decoder
+// treats its input as untrusted: cycles, out-of-range or duplicate edges, and
+// non-finite task weights are rejected with a *DecodeError naming the
+// offending field.
 func Read(r io.Reader) (*Graph, error) {
 	var fg fileGraph
 	dec := json.NewDecoder(r)
@@ -52,7 +83,8 @@ func Read(r io.Reader) (*Graph, error) {
 	return fromFileGraph(fg)
 }
 
-// UnmarshalGraph decodes a PTG from JSON bytes and validates it.
+// UnmarshalGraph decodes a PTG from JSON bytes and validates it, with the
+// same strict untrusted-input validation as Read.
 func UnmarshalGraph(data []byte) (*Graph, error) {
 	var fg fileGraph
 	if err := json.Unmarshal(data, &fg); err != nil {
@@ -61,7 +93,42 @@ func UnmarshalGraph(data []byte) (*Graph, error) {
 	return fromFileGraph(fg)
 }
 
+// fromFileGraph validates the decoded file structure field by field before
+// handing it to the Builder, so every rejection carries a JSON path. The
+// Builder re-checks some of the invariants (defense in depth for programmatic
+// construction), but its errors do not name file fields.
 func fromFileGraph(fg fileGraph) (*Graph, error) {
+	n := len(fg.Tasks)
+	for i, t := range fg.Tasks {
+		switch {
+		case math.IsNaN(t.Flops) || math.IsInf(t.Flops, 0):
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].flops", i), "non-finite value %g", t.Flops)
+		case t.Flops < 0:
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].flops", i), "negative value %g", t.Flops)
+		case math.IsNaN(t.Alpha) || math.IsInf(t.Alpha, 0):
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].alpha", i), "non-finite value %g", t.Alpha)
+		case t.Alpha < 0 || t.Alpha > 1:
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].alpha", i), "value %g outside [0,1]", t.Alpha)
+		case math.IsNaN(t.Data) || math.IsInf(t.Data, 0):
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].data", i), "non-finite value %g", t.Data)
+		case t.Data < 0:
+			return nil, decodeErrorf(nil, fmt.Sprintf("tasks[%d].data", i), "negative value %g", t.Data)
+		}
+	}
+	seen := make(map[[2]int]bool, len(fg.Edges))
+	for i, e := range fg.Edges {
+		switch {
+		case e[0] < 0 || e[0] >= n:
+			return nil, decodeErrorf(nil, fmt.Sprintf("edges[%d]", i), "source %d out of range (have %d tasks)", e[0], n)
+		case e[1] < 0 || e[1] >= n:
+			return nil, decodeErrorf(nil, fmt.Sprintf("edges[%d]", i), "destination %d out of range (have %d tasks)", e[1], n)
+		case e[0] == e[1]:
+			return nil, decodeErrorf(nil, fmt.Sprintf("edges[%d]", i), "self-loop on task %d", e[0])
+		case seen[e]:
+			return nil, decodeErrorf(nil, fmt.Sprintf("edges[%d]", i), "duplicate edge (%d,%d)", e[0], e[1])
+		}
+		seen[e] = true
+	}
 	b := NewBuilder(fg.Name)
 	for _, t := range fg.Tasks {
 		b.AddTask(Task{Name: t.Name, Flops: t.Flops, Alpha: t.Alpha, Data: t.Data})
@@ -69,7 +136,11 @@ func fromFileGraph(fg fileGraph) (*Graph, error) {
 	for _, e := range fg.Edges {
 		b.AddEdge(TaskID(e[0]), TaskID(e[1]))
 	}
-	return b.Build()
+	g, err := b.Build()
+	if errors.Is(err, ErrCycle) {
+		return nil, decodeErrorf(ErrCycle, "edges", "graph contains a cycle")
+	}
+	return g, err
 }
 
 // DOT renders the graph in Graphviz DOT syntax. Node labels show the task name

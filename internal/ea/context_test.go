@@ -1,0 +1,61 @@
+package ea
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"emts/internal/schedule"
+)
+
+func TestRunContextCancelledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, defaultConfig(1), 8, 8, nil, sphereFitness(schedule.Ones(8)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextStopsWithinOneGeneration cancels from the OnGeneration hook
+// after generation 1 has been selected: the run must abort before generation 2
+// starts, i.e. no further OnGeneration callbacks fire.
+func TestRunContextStopsWithinOneGeneration(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var gens []int
+	cfg := defaultConfig(7)
+	cfg.OnGeneration = func(gs GenStats) {
+		gens = append(gens, gs.Generation)
+		if gs.Generation == 1 {
+			cancel()
+		}
+	}
+	_, err := RunContext(ctx, cfg, 8, 8, nil, sphereFitness(schedule.Ones(8)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(gens) != 2 {
+		t.Fatalf("generations run after cancellation: saw callbacks for %v, want [0 1]", gens)
+	}
+}
+
+// TestRunContextIsTransparent asserts the cancellation plumbing costs nothing
+// in terms of results: a run under a live context is bit-identical to the
+// same seed through the context-free entry point.
+func TestRunContextIsTransparent(t *testing.T) {
+	fit := sphereFitness(schedule.Ones(8))
+	plain, err := Run(defaultConfig(3), 8, 8, nil, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := RunContext(ctx, defaultConfig(3), 8, 8, nil, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Best, withCtx.Best) || !reflect.DeepEqual(plain.History, withCtx.History) {
+		t.Fatal("RunContext result differs from Run with the same seed")
+	}
+}

@@ -11,6 +11,7 @@
 package ea
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -390,8 +391,22 @@ type Result struct {
 // population never worsens across generations (Section IV, citing Schwefel &
 // Rudolph).
 func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluator) (*Result, error) {
+	return RunContext(context.Background(), cfg, v, procs, seeds, fitness)
+}
+
+// RunContext is Run with cooperative cancellation. ctx is observed at two
+// points only — before the initial evaluation and once at the top of each
+// generation — so cancellation adds zero cost to the hot fitness path and
+// cannot perturb the RNG stream: a run that completes under a live context is
+// bit-identical to the same seed under context.Background(). On cancellation
+// the error wraps ctx's cause (context.Canceled or DeadlineExceeded), so
+// errors.Is works; no partial Result is returned.
+func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluator) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("ea: run cancelled before initialization: %w", err)
 	}
 	if v < 1 {
 		return nil, fmt.Errorf("ea: individual length %d, want >= 1", v)
@@ -464,6 +479,9 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 	pmut, hasPositions := mut.(PositionsMutator)
 
 	for u := 0; u < cfg.Generations; u++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ea: run cancelled before generation %d: %w", u, err)
+		}
 		m := MutationCount(u, cfg.Generations, cfg.Fm, v)
 		for i := range offspring {
 			parent := parents[rng.Intn(len(parents))]

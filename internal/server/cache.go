@@ -1,0 +1,62 @@
+package server
+
+import "container/list"
+
+// responseCache is a bounded LRU cache from canonical request keys to
+// serialized 200 response bodies. Because every scheduler in the repository
+// is deterministic under a fixed seed, a response body is a pure function of
+// the canonical request — so replaying cached bytes is indistinguishable from
+// recomputing, and repeat submissions of an identical request are
+// byte-identical by construction.
+type responseCache struct {
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResponseCache returns a cache bounded to max entries; max <= 0 disables
+// caching (Get always misses, Put is a no-op).
+func newResponseCache(max int) *responseCache {
+	return &responseCache{max: max, ll: list.New(), entries: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key and refreshes its recency. The caller
+// must not modify the returned slice. Callers synchronize externally (the
+// server guards the cache with its own mutex).
+func (c *responseCache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes it.
+func (c *responseCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.max {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+}
+
+// len returns the number of resident entries.
+func (c *responseCache) len() int { return c.ll.Len() }

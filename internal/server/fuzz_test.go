@@ -1,0 +1,54 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzDecodeScheduleRequest hammers the /v1/schedule request decoder: it must
+// never panic, and whatever it accepts must be internally consistent (resolved
+// cluster, canonical key, acyclic graph with in-range edges).
+func FuzzDecodeScheduleRequest(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"graph":{"tasks":[{"flops":1}]},"cluster":{"preset":"chti"}}`,
+		`{"graph":{"tasks":[{"flops":1,"alpha":0.5},{"flops":2}],"edges":[[0,1]]},"cluster":{"procs":4,"speed_gflops":2.5},"model":"amdahl","algorithm":"emts10","seed":7,"timeout_ms":100}`,
+		`{"graph":{"tasks":[{"flops":1},{"flops":1}],"edges":[[0,1],[1,0]]},"cluster":{"preset":"chti"}}`,
+		`{"graph":{"tasks":[],"edges":[]},"cluster":{"preset":"grelon"}}`,
+		`{"graph":{"tasks":[{"flops":-1}]},"cluster":{"preset":"chti"}}`,
+		`{"graph":{"tasks":[{"flops":1,"alpha":2}]},"cluster":{"preset":"chti"}}`,
+		`{"graph":{"tasks":[{"flops":1}],"edges":[[0,0]]},"cluster":{"preset":"chti"}}`,
+		`[1,2,3]`,
+		`nonsense`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := parseScheduleRequest(data, 1000)
+		if err != nil {
+			return
+		}
+		// Accepted requests must be fully resolved.
+		if p.graph == nil || p.graph.NumTasks() == 0 {
+			t.Fatal("accepted request with empty graph")
+		}
+		if p.cluster.Procs <= 0 || p.cluster.SpeedGFlops <= 0 {
+			t.Fatalf("accepted request with unresolved cluster %+v", p.cluster)
+		}
+		if p.model == "" || p.algorithm == "" {
+			t.Fatal("accepted request without model/algorithm defaults")
+		}
+		if len(p.key) != 64 {
+			t.Fatalf("canonical key %q is not a sha256 hex digest", p.key)
+		}
+		n := p.graph.NumTasks()
+		for _, e := range p.graph.Edges() {
+			if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+				t.Fatalf("edge %v out of range for %d tasks", e, n)
+			}
+		}
+		if _, err := p.graph.TopologicalOrder(); err != nil {
+			t.Fatalf("accepted cyclic graph: %v", err)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMetricsRenderDeterministic: two scrapes of the same registry state must
+// be byte-identical (schedlint's mapiterorder invariant, enforced end to end).
+func TestMetricsRenderDeterministic(t *testing.T) {
+	m := newMetrics()
+	for _, code := range []int{200, 400, 429, 200} {
+		m.countRequest(code)
+	}
+	m.countOutcome("emts5", "ok")
+	m.countOutcome("cpa", "ok")
+	m.countOutcome("emts5", "deadline")
+	m.observeLatency("emts5", 0.012)
+	m.observeLatency("cpa", 0.0004)
+	m.cacheHits.Add(3)
+	m.cacheMisses.Add(5)
+
+	var a, b bytes.Buffer
+	if _, err := m.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of the same state differ")
+	}
+
+	page := a.String()
+	for _, want := range []string{
+		`emts_requests_total{code="200"} 2`,
+		`emts_requests_total{code="400"} 1`,
+		`emts_requests_total{code="429"} 1`,
+		`emts_schedule_total{algorithm="cpa",outcome="ok"} 1`,
+		`emts_schedule_total{algorithm="emts5",outcome="deadline"} 1`,
+		`emts_schedule_total{algorithm="emts5",outcome="ok"} 1`,
+		`emts_request_duration_seconds_bucket{algorithm="emts5",le="0.025"} 1`,
+		`emts_request_duration_seconds_bucket{algorithm="emts5",le="+Inf"} 1`,
+		`emts_request_duration_seconds_count{algorithm="cpa"} 1`,
+		`emts_cache_hits_total 3`,
+		`emts_cache_misses_total 5`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+
+	// Label blocks must be sorted: cpa precedes emts5.
+	if strings.Index(page, `algorithm="cpa",outcome`) > strings.Index(page, `algorithm="emts5",outcome`) {
+		t.Error("outcome series not sorted by algorithm")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &histogram{counts: make([]uint64, len(latencyBuckets))}
+	h.observe(0.0005) // first bucket (le=0.001)
+	h.observe(100)    // beyond the last bound: +Inf only
+	if h.counts[0] != 1 {
+		t.Fatalf("first bucket = %d, want 1", h.counts[0])
+	}
+	for i := 1; i < len(h.counts); i++ {
+		if h.counts[i] != 0 {
+			t.Fatalf("bucket %d = %d, want 0", i, h.counts[i])
+		}
+	}
+	if h.total != 2 || h.sum != 100.0005 {
+		t.Fatalf("total/sum = %d/%g", h.total, h.sum)
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"emts/internal/dag"
+	"emts/internal/platform"
+)
+
+// ScheduleRequest is the body of POST /v1/schedule. Graph is the PTG JSON
+// file format (the structure produced by emts-daggen and dag.Graph's
+// MarshalJSON); Cluster selects a platform preset or describes one inline.
+type ScheduleRequest struct {
+	// Graph is the PTG in its JSON file format.
+	Graph json.RawMessage `json:"graph"`
+	// Cluster selects the platform.
+	Cluster ClusterSpec `json:"cluster"`
+	// Model names the execution-time model (default "synthetic").
+	Model string `json:"model,omitempty"`
+	// Algorithm names the scheduler (default "emts5").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives every stochastic choice; equal requests give equal
+	// responses.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS optionally tightens the server's per-request deadline. It can
+	// only lower the server limit, never raise it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ClusterSpec names a platform preset ("chti", "grelon") or describes a
+// homogeneous cluster inline. Preset and the inline fields are mutually
+// exclusive.
+type ClusterSpec struct {
+	Preset      string  `json:"preset,omitempty"`
+	Name        string  `json:"name,omitempty"`
+	Procs       int     `json:"procs,omitempty"`
+	SpeedGFlops float64 `json:"speed_gflops,omitempty"`
+}
+
+// RequestError is a typed validation failure of a schedule request. The
+// server maps it (and dag.DecodeError) to a 400 response naming the field.
+type RequestError struct {
+	// Field is the JSON path of the offending element.
+	Field string
+	// Msg describes the violation.
+	Msg string
+}
+
+// Error implements error.
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("server: invalid request: %s: %s", e.Field, e.Msg)
+}
+
+func requestErrorf(field, msg string, args ...interface{}) *RequestError {
+	return &RequestError{Field: field, Msg: fmt.Sprintf(msg, args...)}
+}
+
+// parsedRequest is a fully validated schedule request: the decoded graph, the
+// resolved cluster, normalized names, and the canonical cache key.
+type parsedRequest struct {
+	req     ScheduleRequest
+	graph   *dag.Graph
+	cluster platform.Cluster
+	// model and algorithm are the lowercased names; existence is checked by
+	// the simulator (its typed sentinels map to 400s like RequestErrors do).
+	model     string
+	algorithm string
+	// key is the canonical cache key: a digest over the canonical graph
+	// encoding, the resolved cluster, and the normalized run parameters.
+	key string
+}
+
+// parseScheduleRequest decodes and validates an untrusted request body.
+// maxTasks bounds the accepted graph size (0 = unlimited). All rejections are
+// typed: *RequestError or *dag.DecodeError.
+func parseScheduleRequest(body []byte, maxTasks int) (*parsedRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req ScheduleRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, requestErrorf("body", "malformed JSON: %v", err)
+	}
+	// A second document after the first is a smuggling smell; reject it.
+	if dec.More() {
+		return nil, requestErrorf("body", "trailing data after request object")
+	}
+	if len(req.Graph) == 0 {
+		return nil, requestErrorf("graph", "missing")
+	}
+	g, err := dag.UnmarshalGraph(req.Graph)
+	if err != nil {
+		return nil, err // *dag.DecodeError for validation, fmt for malformed JSON
+	}
+	if g.NumTasks() == 0 {
+		return nil, requestErrorf("graph.tasks", "empty graph")
+	}
+	if maxTasks > 0 && g.NumTasks() > maxTasks {
+		return nil, requestErrorf("graph.tasks", "%d tasks exceeds the admission limit of %d", g.NumTasks(), maxTasks)
+	}
+	cluster, err := req.Cluster.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS < 0 {
+		return nil, requestErrorf("timeout_ms", "negative value %d", req.TimeoutMS)
+	}
+	p := &parsedRequest{
+		req:       req,
+		graph:     g,
+		cluster:   cluster,
+		model:     strings.ToLower(req.Model),
+		algorithm: strings.ToLower(req.Algorithm),
+	}
+	if p.model == "" {
+		p.model = "synthetic"
+	}
+	if p.algorithm == "" {
+		p.algorithm = "emts5"
+	}
+	key, err := canonicalKey(g, cluster, p.model, p.algorithm, req.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("server: canonicalizing request: %w", err)
+	}
+	p.key = key
+	return p, nil
+}
+
+// resolve maps the spec to a validated platform.Cluster.
+func (cs ClusterSpec) resolve() (platform.Cluster, error) {
+	if cs.Preset != "" {
+		if cs.Name != "" || cs.Procs != 0 || cs.SpeedGFlops != 0 {
+			return platform.Cluster{}, requestErrorf("cluster", "preset and inline fields are mutually exclusive")
+		}
+		switch strings.ToLower(cs.Preset) {
+		case "chti":
+			return platform.Chti(), nil
+		case "grelon":
+			return platform.Grelon(), nil
+		}
+		return platform.Cluster{}, requestErrorf("cluster.preset", "unknown preset %q (have chti, grelon)", cs.Preset)
+	}
+	name := cs.Name
+	if name == "" {
+		name = "cluster"
+	}
+	c, err := platform.New(name, cs.Procs, cs.SpeedGFlops)
+	if err != nil {
+		return platform.Cluster{}, requestErrorf("cluster", "%v", err)
+	}
+	return c, nil
+}
+
+// canonicalKey digests the semantic content of a request. The graph is
+// re-encoded through its canonical MarshalJSON (deterministic task and edge
+// order), so two submissions that differ only in JSON whitespace, field
+// order, or float spelling of the same value stream map to the same key.
+func canonicalKey(g *dag.Graph, cluster platform.Cluster, model, algorithm string, seed int64) (string, error) {
+	h := sha256.New()
+	gb, err := json.Marshal(g)
+	if err != nil {
+		return "", err
+	}
+	h.Write(gb)
+	fmt.Fprintf(h, "\x00%s\x00%d\x00%g\x00%s\x00%s\x00%s",
+		cluster.Name, cluster.Procs, cluster.SpeedGFlops, model, algorithm, strconv.FormatInt(seed, 10))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

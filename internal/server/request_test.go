@@ -1,0 +1,82 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"emts/internal/dag"
+)
+
+const keyGraph = `{"tasks":[{"flops":1,"alpha":0.5},{"flops":2,"alpha":0.5}],"edges":[[0,1]]}`
+
+func mustParse(t *testing.T, body string) *parsedRequest {
+	t.Helper()
+	p, err := parseScheduleRequest([]byte(body), 0)
+	if err != nil {
+		t.Fatalf("parseScheduleRequest(%q): %v", body, err)
+	}
+	return p
+}
+
+// TestCanonicalKeyInvariance: the cache key depends on the decoded request,
+// not its serialization — whitespace, field order, and equivalent encodings
+// all map to the same key.
+func TestCanonicalKeyInvariance(t *testing.T) {
+	base := mustParse(t, `{"graph":`+keyGraph+`,"cluster":{"preset":"chti"},"algorithm":"emts5","seed":3}`)
+	same := []string{
+		// Field order shuffled, whitespace added.
+		`{ "seed": 3, "algorithm": "EMTS5", "cluster": { "preset": "chti" },
+		   "graph": ` + keyGraph + ` }`,
+		// Model defaulting: "synthetic" is the default.
+		`{"graph":` + keyGraph + `,"cluster":{"preset":"chti"},"model":"synthetic","algorithm":"emts5","seed":3}`,
+	}
+	for i, body := range same {
+		if got := mustParse(t, body).key; got != base.key {
+			t.Errorf("variant %d: key %s != base %s", i, got, base.key)
+		}
+	}
+
+	different := []string{
+		// Different seed.
+		`{"graph":` + keyGraph + `,"cluster":{"preset":"chti"},"algorithm":"emts5","seed":4}`,
+		// Different algorithm.
+		`{"graph":` + keyGraph + `,"cluster":{"preset":"chti"},"algorithm":"emts10","seed":3}`,
+		// Different cluster.
+		`{"graph":` + keyGraph + `,"cluster":{"preset":"grelon"},"algorithm":"emts5","seed":3}`,
+		// Different model.
+		`{"graph":` + keyGraph + `,"cluster":{"preset":"chti"},"model":"amdahl","algorithm":"emts5","seed":3}`,
+		// Different graph weight.
+		`{"graph":{"tasks":[{"flops":1,"alpha":0.5},{"flops":3,"alpha":0.5}],"edges":[[0,1]]},"cluster":{"preset":"chti"},"algorithm":"emts5","seed":3}`,
+	}
+	for i, body := range different {
+		if got := mustParse(t, body).key; got == base.key {
+			t.Errorf("variant %d: key collides with base (%s)", i, got)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p := mustParse(t, `{"graph":`+keyGraph+`,"cluster":{"preset":"chti"}}`)
+	if p.model != "synthetic" || p.algorithm != "emts5" {
+		t.Fatalf("defaults = %q/%q, want synthetic/emts5", p.model, p.algorithm)
+	}
+	if p.cluster.Procs != 20 {
+		t.Fatalf("chti procs = %d, want 20", p.cluster.Procs)
+	}
+}
+
+func TestParseMaxTasks(t *testing.T) {
+	_, err := parseScheduleRequest([]byte(`{"graph":`+keyGraph+`,"cluster":{"preset":"chti"}}`), 1)
+	var reqErr *RequestError
+	if !errors.As(err, &reqErr) || reqErr.Field != "graph.tasks" {
+		t.Fatalf("want RequestError on graph.tasks, got %v", err)
+	}
+}
+
+func TestParseStrictGraph(t *testing.T) {
+	_, err := parseScheduleRequest([]byte(`{"graph":{"tasks":[{"flops":1}],"edges":[[0,5]]},"cluster":{"preset":"chti"}}`), 0)
+	var decErr *dag.DecodeError
+	if !errors.As(err, &decErr) {
+		t.Fatalf("want dag.DecodeError for out-of-range edge, got %v", err)
+	}
+}

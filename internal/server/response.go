@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"emts/internal/platform"
+	"emts/internal/schedule"
+	"emts/internal/sim"
+)
+
+// ScheduleResponse is the body of a successful POST /v1/schedule. The
+// structure deliberately excludes wall-clock fields (sim.Report.Elapsed):
+// the body is a pure function of the request, which is what makes cached
+// replays byte-identical to recomputation. Timing lives in /metrics and the
+// request logs.
+type ScheduleResponse struct {
+	Algorithm   string           `json:"algorithm"`
+	Model       string           `json:"model"`
+	Graph       string           `json:"graph"`
+	Tasks       int              `json:"tasks"`
+	Cluster     platform.Cluster `json:"cluster"`
+	Makespan    float64          `json:"makespan"`
+	Utilization float64          `json:"utilization"`
+	// EMTS-only diagnostics; zero for the one-shot heuristics.
+	Evaluations int       `json:"evaluations,omitempty"`
+	Rejections  int       `json:"rejections,omitempty"`
+	History     []float64 `json:"history,omitempty"`
+	// Schedule is the fully validated placement.
+	Schedule *schedule.Schedule `json:"schedule"`
+}
+
+// marshalResponse projects a simulator report onto the wire format.
+func marshalResponse(rep *sim.Report) ([]byte, error) {
+	resp := ScheduleResponse{
+		Algorithm:   rep.Algorithm,
+		Model:       rep.Model,
+		Graph:       rep.Graph,
+		Tasks:       len(rep.Schedule.Entries),
+		Cluster:     rep.Cluster,
+		Makespan:    rep.Makespan,
+		Utilization: rep.Utilization(),
+		Schedule:    rep.Schedule,
+	}
+	if rep.EMTS != nil {
+		resp.Evaluations = rep.EMTS.Evaluations
+		resp.Rejections = rep.EMTS.Rejections
+		resp.History = rep.EMTS.History
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// errorResponse is the body of every non-200 JSON response.
+type errorResponse struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+// errorBody serializes an error response; it cannot fail.
+func errorBody(msg, field string) []byte {
+	b, _ := json.Marshal(errorResponse{Error: msg, Field: field})
+	return append(b, '\n')
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg, field string) {
+	writeBody(w, code, errorBody(msg, field))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error(), "")
+		return
+	}
+	writeBody(w, code, append(b, '\n'))
+}
+
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}

@@ -1,0 +1,452 @@
+// Package server implements emts-serve: a stdlib-only HTTP/JSON scheduling
+// service in front of the simulator's by-name interface (package sim).
+//
+// # Request lifecycle
+//
+// POST /v1/schedule carries a PTG (the dag JSON codec), a cluster, a model
+// name, an algorithm name, and a seed. The handler validates the body with
+// typed errors (400), consults a canonical-hash response cache, and admits
+// the request to a depth-limited queue in front of a bounded worker pool;
+// queue overflow returns 429 with Retry-After. Each admitted request carries
+// a context assembled from the client connection and the per-request
+// deadline, and the evolutionary algorithm observes that context once per
+// generation (ea.RunContext) — a dropped connection or an expired deadline
+// stops an in-flight optimization within one generation, at zero cost on the
+// hot fitness path.
+//
+// Because every scheduler in the repository is deterministic under a fixed
+// seed, the response body is a pure function of the request (wall-clock
+// observables live in logs and /metrics only), which is what makes the
+// response cache exact: repeat submissions are byte-identical replays.
+//
+// # Operations
+//
+// /healthz reports process liveness, /readyz flips to 503 the moment
+// shutdown begins (so load balancers drain ahead of the listener closing),
+// and /metrics exposes hand-rolled Prometheus text series: request counts,
+// queue depth, in-flight gauge, cache hit/miss counters, and per-algorithm
+// latency histograms. Shutdown stops admission, drains the queue, and waits
+// for the workers to go idle.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emts/internal/dag"
+	"emts/internal/platform"
+	"emts/internal/sim"
+)
+
+// Config parametrizes a Server. The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// Workers bounds the number of concurrent schedule computations
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue in front of the workers
+	// (default 64). A full queue answers 429 with Retry-After.
+	QueueDepth int
+	// RequestTimeout is the per-request compute deadline (default 30s;
+	// negative disables). Requests may lower it via timeout_ms, never raise
+	// it.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// CacheEntries bounds the canonical-hash response cache (default 256;
+	// negative disables caching).
+	CacheEntries int
+	// MaxTasks rejects graphs larger than this at admission (default 20000;
+	// negative disables the limit).
+	MaxTasks int
+	// MaxRequestBytes bounds the request body (default 8 MiB).
+	MaxRequestBytes int64
+	// LogWriter receives JSON-line request logs (nil disables logging).
+	LogWriter io.Writer
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxTasks == 0 {
+		c.MaxTasks = 20000
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	return c
+}
+
+// runFunc is the compute seam: production servers schedule through
+// sim.RunContext; lifecycle tests substitute controllable stubs.
+type runFunc func(ctx context.Context, g *dag.Graph, cluster platform.Cluster, model, algorithm string, seed int64) (*sim.Report, error)
+
+// Server is the scheduling service. Create with New, expose via Handler, and
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *metrics
+	log     *logger
+	run     runFunc
+
+	queue   chan *job
+	workers sync.WaitGroup
+
+	// admission guards queue against send-after-close: enqueuers hold the
+	// read lock, Shutdown takes the write lock to flip draining and close the
+	// queue exactly once.
+	admission sync.RWMutex
+	draining  bool
+
+	cacheMu sync.Mutex
+	cache   *responseCache
+
+	reqID atomic.Uint64
+	ready atomic.Bool
+}
+
+// job is one admitted schedule computation.
+type job struct {
+	ctx    context.Context
+	parsed *parsedRequest
+	// result is buffered (capacity 1): the worker never blocks on a handler
+	// that gave up waiting.
+	result chan jobResult
+}
+
+// jobResult is the worker's verdict: an HTTP status, a response body, and the
+// classified outcome label for metrics.
+type jobResult struct {
+	code    int
+	body    []byte
+	outcome string
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newResponseCache(cfg.CacheEntries),
+		queue:   make(chan *job, cfg.QueueDepth),
+		run:     sim.RunContext,
+	}
+	if cfg.LogWriter != nil {
+		s.log = &logger{w: cfg.LogWriter}
+	}
+	s.metrics.queueDepth = func() int { return len(s.queue) }
+	s.metrics.queueCapacity = cfg.QueueDepth
+	s.metrics.cacheEntries = func() int {
+		s.cacheMu.Lock()
+		defer s.cacheMu.Unlock()
+		return s.cache.len()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the HTTP handler tree, wrapped with request-ID assignment,
+// status accounting, and structured logging.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = "r" + strconv.FormatUint(s.reqID.Add(1), 10)
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		rec.Header().Set("X-Request-Id", id)
+		start := time.Now()
+		s.mux.ServeHTTP(rec, r.WithContext(withRequestID(r.Context(), id)))
+		s.metrics.countRequest(rec.code)
+		s.log.log(accessLog{
+			Req:    id,
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Code:   rec.code,
+			DurMS:  float64(time.Since(start)) / float64(time.Millisecond),
+			Cache:  rec.Header().Get("X-Emts-Cache"),
+		})
+	})
+}
+
+// Shutdown drains the service: readiness flips to 503 immediately, admission
+// of new work stops (503), queued and in-flight jobs run to completion, and
+// the worker pool exits. It returns ctx's error if draining outlasts it; the
+// pool keeps draining in the background in that case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	s.admission.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.admission.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// worker executes admitted jobs until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.metrics.inflight.Add(1)
+		j.result <- s.compute(j)
+		s.metrics.inflight.Add(-1)
+	}
+}
+
+// compute runs one schedule computation and classifies the outcome.
+func (s *Server) compute(j *job) jobResult {
+	p := j.parsed
+	// The client may have vanished (or the deadline passed) while the job sat
+	// in the queue; skip the work entirely in that case.
+	if err := j.ctx.Err(); err != nil {
+		return s.cancelResult(err, p.algorithm)
+	}
+	start := time.Now()
+	rep, err := s.run(j.ctx, p.graph, p.cluster, p.model, p.algorithm, p.req.Seed)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return s.cancelResult(err, p.algorithm)
+		case errors.Is(err, sim.ErrUnknownAlgorithm), errors.Is(err, sim.ErrUnknownModel), errors.Is(err, sim.ErrBadCluster):
+			s.metrics.countOutcome(p.algorithm, "client_error")
+			return jobResult{code: http.StatusBadRequest, body: errorBody(err.Error(), ""), outcome: "client_error"}
+		default:
+			s.metrics.countOutcome(p.algorithm, "error")
+			return jobResult{code: http.StatusInternalServerError, body: errorBody(err.Error(), ""), outcome: "error"}
+		}
+	}
+	body, merr := marshalResponse(rep)
+	if merr != nil {
+		s.metrics.countOutcome(p.algorithm, "error")
+		return jobResult{code: http.StatusInternalServerError, body: errorBody("encoding response: "+merr.Error(), ""), outcome: "error"}
+	}
+	s.metrics.countOutcome(p.algorithm, "ok")
+	s.metrics.observeLatency(p.algorithm, elapsed.Seconds())
+	s.cacheMu.Lock()
+	s.cache.put(p.key, body)
+	s.cacheMu.Unlock()
+	return jobResult{code: http.StatusOK, body: body, outcome: "ok"}
+}
+
+// cancelResult classifies a context failure: deadline expiry is reported as
+// 504 (the handler may still be waiting on the result), client cancellation
+// as the conventional 499 (undeliverable — the connection is gone — but it
+// keeps the accounting honest).
+func (s *Server) cancelResult(err error, algorithm string) jobResult {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.metrics.countOutcome(algorithm, "deadline")
+		return jobResult{code: http.StatusGatewayTimeout, body: errorBody("deadline exceeded", ""), outcome: "deadline"}
+	}
+	s.metrics.countOutcome(algorithm, "cancelled")
+	return jobResult{code: 499, body: errorBody("client cancelled", ""), outcome: "cancelled"}
+}
+
+// handleSchedule is the POST /v1/schedule lifecycle described in the package
+// comment.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "body")
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "reading body: "+err.Error(), "body")
+		return
+	}
+	maxTasks := s.cfg.MaxTasks
+	if maxTasks < 0 {
+		maxTasks = 0
+	}
+	parsed, err := parseScheduleRequest(body, maxTasks)
+	if err != nil {
+		var reqErr *RequestError
+		var decErr *dag.DecodeError
+		switch {
+		case errors.As(err, &reqErr):
+			writeJSONError(w, http.StatusBadRequest, reqErr.Msg, reqErr.Field)
+		case errors.As(err, &decErr):
+			writeJSONError(w, http.StatusBadRequest, decErr.Msg, "graph."+decErr.Field)
+		default:
+			writeJSONError(w, http.StatusBadRequest, err.Error(), "")
+		}
+		return
+	}
+
+	// Cache fast path: a hit bypasses admission entirely.
+	s.cacheMu.Lock()
+	cached, hit := s.cache.get(parsed.key)
+	s.cacheMu.Unlock()
+	if hit {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Emts-Cache", "hit")
+		writeBody(w, http.StatusOK, cached)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	w.Header().Set("X-Emts-Cache", "miss")
+
+	ctx := r.Context()
+	timeout := s.cfg.RequestTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	if reqTimeout := time.Duration(parsed.req.TimeoutMS) * time.Millisecond; reqTimeout > 0 && (timeout == 0 || reqTimeout < timeout) {
+		timeout = reqTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	j := &job{ctx: ctx, parsed: parsed, result: make(chan jobResult, 1)}
+
+	s.admission.RLock()
+	if s.draining {
+		s.admission.RUnlock()
+		writeJSONError(w, http.StatusServiceUnavailable, "server is shutting down", "")
+		return
+	}
+	admitted := false
+	select {
+	case s.queue <- j:
+		admitted = true
+	default:
+	}
+	s.admission.RUnlock()
+	if !admitted {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeJSONError(w, http.StatusTooManyRequests, "admission queue full", "")
+		return
+	}
+
+	// Either the worker answers, or the context ends first — on deadline the
+	// client gets a prompt 504 instead of waiting for the EA to notice; on
+	// client cancellation the 499 write goes nowhere but keeps logs and
+	// metrics honest. The worker observes the same context either way and
+	// aborts the EA within one generation, freeing the slot.
+	select {
+	case res := <-j.result:
+		writeBody(w, res.code, res.body)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeJSONError(w, http.StatusGatewayTimeout, "deadline exceeded", "")
+		} else {
+			writeJSONError(w, 499, "client cancelled", "")
+		}
+	}
+}
+
+// handleAlgorithms lists the accepted algorithm and model names.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Algorithms []string `json:"algorithms"`
+		Models     []string `json:"models"`
+	}{sim.AlgorithmNames(), sim.ModelNames()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeText(w, http.StatusOK, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeText(w, http.StatusServiceUnavailable, "draining\n")
+		return
+	}
+	writeText(w, http.StatusOK, "ready\n")
+}
+
+func writeText(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	io.WriteString(w, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}
+
+// requestIDKey carries the request ID through handler contexts.
+type requestIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request ID assigned by Handler, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}

@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +21,19 @@ import (
 	"emts/internal/onestep"
 	"emts/internal/platform"
 	"emts/internal/schedule"
+)
+
+// Typed sentinels for the by-name entry points, so callers serving untrusted
+// requests can distinguish client mistakes (bad names, bad platform → 400)
+// from internal failures (→ 500). The error text produced by the entry points
+// is unchanged: the sentinels are wrapped into the existing messages.
+var (
+	// ErrUnknownAlgorithm reports an algorithm name outside AlgorithmNames.
+	ErrUnknownAlgorithm = errors.New("sim: unknown algorithm")
+	// ErrUnknownModel reports a model name outside ModelNames.
+	ErrUnknownModel = errors.New("sim: unknown model")
+	// ErrBadCluster reports an invalid platform description.
+	ErrBadCluster = errors.New("sim: bad cluster")
 )
 
 // ModelNames lists the execution-time models available by name.
@@ -41,7 +56,7 @@ func ModelByName(name string) (model.Model, error) {
 	case "downey":
 		return model.Downey{A: 64, Sigma: 0.5}, nil
 	}
-	return nil, fmt.Errorf("sim: unknown model %q (have %s)", name, strings.Join(ModelNames(), ", "))
+	return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownModel, name, strings.Join(ModelNames(), ", "))
 }
 
 // AlgorithmNames lists the scheduling algorithms available by name: the
@@ -75,25 +90,43 @@ func (r *Report) Utilization() float64 { return r.Schedule.Utilization() }
 // Run executes the named algorithm on graph g under the named model on the
 // cluster, using seed for all stochastic choices, and validates the result.
 func Run(g *dag.Graph, cluster platform.Cluster, modelName, algorithm string, seed int64) (*Report, error) {
+	return RunContext(context.Background(), g, cluster, modelName, algorithm, seed)
+}
+
+// RunContext is Run with cooperative cancellation: EMTS runs observe ctx once
+// per generation (see core.RunContext) and the fast heuristics check it once
+// up front, so a cancelled request stops within one generation.
+func RunContext(ctx context.Context, g *dag.Graph, cluster platform.Cluster, modelName, algorithm string, seed int64) (*Report, error) {
 	m, err := ModelByName(modelName)
 	if err != nil {
 		return nil, err
+	}
+	if err := cluster.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCluster, err)
 	}
 	tab, err := model.NewTable(g, m, cluster)
 	if err != nil {
 		return nil, err
 	}
-	return RunTable(g, cluster, tab, algorithm, seed)
+	return RunTableContext(ctx, g, cluster, tab, algorithm, seed)
 }
 
 // RunTable is Run for callers that already built the execution-time table
 // (e.g. to amortize it across algorithms on the same instance).
 func RunTable(g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64) (*Report, error) {
+	return RunTableContext(context.Background(), g, cluster, tab, algorithm, seed)
+}
+
+// RunTableContext is RunTable with cooperative cancellation.
+func RunTableContext(ctx context.Context, g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64) (*Report, error) {
 	rep := &Report{
 		Algorithm: strings.ToLower(algorithm),
 		Model:     tab.Name(),
 		Graph:     g.Name(),
 		Cluster:   cluster,
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: %s cancelled before start: %w", rep.Algorithm, err)
 	}
 	start := time.Now()
 	switch rep.Algorithm {
@@ -102,7 +135,7 @@ func RunTable(g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorith
 		if rep.Algorithm == "emts10" {
 			params = core.EMTS10(seed)
 		}
-		res, err := core.Run(g, tab, params)
+		res, err := core.RunContext(ctx, g, tab, params)
 		if err != nil {
 			return nil, err
 		}
@@ -158,8 +191,8 @@ func allocatorByName(name string, seed int64) (alloc.Allocator, error) {
 	case "delta-cp", "deltacp":
 		return alloc.DeltaCP{Delta: 0.9}, nil
 	}
-	return nil, fmt.Errorf("sim: unknown algorithm %q (have %s)",
-		name, strings.Join(AlgorithmNames(), ", "))
+	return nil, fmt.Errorf("%w %q (have %s)",
+		ErrUnknownAlgorithm, name, strings.Join(AlgorithmNames(), ", "))
 }
 
 // Compare runs several algorithms on the same instance (sharing one

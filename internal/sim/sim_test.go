@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -59,6 +61,47 @@ func TestRunUnknownAlgorithm(t *testing.T) {
 	}
 	if _, err := Run(g, platform.Chti(), "wat", "cpa", 1); err == nil {
 		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestRunTypedSentinels asserts the by-name entry points classify caller
+// mistakes with the typed sentinels (the server maps these to 400s) while
+// keeping the original message text.
+func TestRunTypedSentinels(t *testing.T) {
+	g, _ := daggen.FFT(2, daggen.DefaultCosts(), 1)
+
+	_, err := Run(g, platform.Chti(), "synthetic", "magic", 1)
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+	if !strings.Contains(err.Error(), `unknown algorithm "magic"`) {
+		t.Fatalf("algorithm error lost its message: %v", err)
+	}
+
+	_, err = Run(g, platform.Chti(), "wat", "cpa", 1)
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("err = %v, want ErrUnknownModel", err)
+	}
+	if !strings.Contains(err.Error(), `unknown model "wat"`) {
+		t.Fatalf("model error lost its message: %v", err)
+	}
+
+	_, err = Run(g, platform.Cluster{Name: "broken", Procs: 0, SpeedGFlops: 1}, "synthetic", "cpa", 1)
+	if !errors.Is(err, ErrBadCluster) {
+		t.Fatalf("err = %v, want ErrBadCluster", err)
+	}
+}
+
+// TestRunContextCancelled asserts the context-aware entry point refuses to
+// start under a cancelled context, for heuristics and EMTS alike.
+func TestRunContextCancelled(t *testing.T) {
+	g, _ := daggen.FFT(2, daggen.DefaultCosts(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []string{"cpa", "emts5"} {
+		if _, err := RunContext(ctx, g, platform.Chti(), "synthetic", algo, 1); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo, err)
+		}
 	}
 }
 

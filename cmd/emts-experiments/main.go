@@ -157,13 +157,13 @@ func run(fig int, runtimeTable, searchCmp, convergence, all bool, scale float64,
 		if len(w.Graphs) > 3*instances {
 			w.Graphs = w.Graphs[:3*instances]
 		}
-		traces := map[string]*exp.Convergence{}
+		// One call for both variants: the per-instance tables are shared.
+		traces, err := exp.ConvergenceTraces(w, platform.Grelon(), "synthetic", []string{"emts5", "emts10"}, seed)
+		if err != nil {
+			return err
+		}
 		for _, emtsName := range []string{"emts5", "emts10"} {
-			c, err := exp.ConvergenceTrace(w, platform.Grelon(), "synthetic", emtsName, seed)
-			if err != nil {
-				return err
-			}
-			traces[emtsName] = c
+			c := traces[emtsName]
 			fmt.Printf("%s convergence (mean best relative to seeds, %d instances):\n", emtsName, c.Instances)
 			for u, v := range c.MeanRelative {
 				fmt.Printf("  gen %2d: %.4f\n", u, v)

@@ -1,5 +1,5 @@
-// Command emts-loadgen is a closed-loop load generator for emts-serve: it
-// replays generated FFT, Strassen, and DAGGEN-style random PTGs against the
+// Command emts-loadgen is a load generator for emts-serve: it replays
+// generated FFT, Strassen, and DAGGEN-style random PTGs against the
 // /v1/schedule endpoint and reports throughput and latency percentiles.
 //
 // Usage:
@@ -7,13 +7,24 @@
 //	emts-loadgen [-url http://localhost:8080] [-c 4] [-duration 10s]
 //	             [-graphs fft8,strassen,random50] [-algo emts5]
 //	             [-model synthetic] [-cluster chti] [-seeds 8] [-seed 1]
+//	             [-rps 0] [-json file]
 //
-// Closed loop means each of the c workers keeps exactly one request in
-// flight: a new request starts only when the previous response arrives, so
-// offered load adapts to service capacity instead of overrunning it. Seeds
-// vary across requests (-seeds distinct values), which controls the server's
-// response-cache hit rate: -seeds 1 measures pure cache service, large
-// values measure pure compute.
+// The default mode is closed-loop: each of the c workers keeps exactly one
+// request in flight, so offered load adapts to service capacity instead of
+// overrunning it. Seeds vary across requests (-seeds distinct values), which
+// controls the server's response-cache hit rate: -seeds 1 measures pure cache
+// service, large values measure pure compute.
+//
+// -rps R switches to open-loop mode: requests are dispatched at fixed
+// scheduled instants R per second regardless of how the previous ones fare,
+// and every latency is measured from the request's *scheduled* start, not its
+// actual send — so a stalled server inflates the percentiles instead of
+// silently throttling the generator (the coordinated-omission trap of closed
+// loops). The report states offered vs achieved rate; a gap means the server
+// (or the client host) could not keep up.
+//
+// -json FILE additionally writes the machine-readable summary to FILE
+// ("-" = stdout) for benchmark harnesses and CI gates.
 package main
 
 import (
@@ -48,9 +59,11 @@ func main() {
 		seeds    = flag.Int("seeds", 8, "distinct request seeds per workload (1 = all cache hits after warmup)")
 		seed     = flag.Int64("seed", 1, "base seed for graph generation and request seeds")
 		timeout  = flag.Duration("timeout", time.Minute, "per-request client timeout")
+		rps      = flag.Float64("rps", 0, "open-loop fixed request rate (0 = closed loop with -c workers)")
+		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *url, *graphs, *algo, *model, *cluster, *conc, *seeds, *seed, *duration, *timeout); err != nil {
+	if err := run(os.Stdout, *url, *graphs, *algo, *model, *cluster, *conc, *seeds, *seed, *duration, *timeout, *rps, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-loadgen:", err)
 		os.Exit(1)
 	}
@@ -126,9 +139,12 @@ type result struct {
 	firstErr  error
 }
 
-func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSeeds int, baseSeed int64, duration, timeout time.Duration) error {
+func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSeeds int, baseSeed int64, duration, timeout time.Duration, rps float64, jsonOut string) error {
 	if conc < 1 {
 		return fmt.Errorf("-c %d, want >= 1", conc)
+	}
+	if rps < 0 {
+		return fmt.Errorf("-rps %g, want >= 0", rps)
 	}
 	bodies, err := buildBodies(graphSpecs, algo, model, cluster, nSeeds, baseSeed)
 	if err != nil {
@@ -137,6 +153,17 @@ func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSee
 	target := strings.TrimSuffix(url, "/") + "/v1/schedule"
 	client := &http.Client{Timeout: timeout}
 
+	var results []result
+	if rps > 0 {
+		results = runOpen(client, target, bodies, baseSeed, duration, rps)
+	} else {
+		results = runClosed(client, target, bodies, baseSeed, duration, conc)
+	}
+	return report(out, results, duration, rps, jsonOut)
+}
+
+// runClosed is the default mode: conc workers, one request in flight each.
+func runClosed(client *http.Client, target string, bodies [][]byte, baseSeed int64, duration time.Duration, conc int) []result {
 	deadline := time.Now().Add(duration)
 	results := make([]result, conc)
 	var wg sync.WaitGroup
@@ -180,10 +207,78 @@ func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSee
 		}(w)
 	}
 	wg.Wait()
-	return report(out, results, duration)
+	return results
 }
 
-func report(out io.Writer, results []result, duration time.Duration) error {
+// runOpen dispatches requests at fixed scheduled instants (1/rps apart) for
+// the duration, each on its own goroutine, and measures every latency from
+// the scheduled instant — so queueing delay the server induces is charged to
+// the request instead of silently pausing the generator (no coordinated
+// omission). The dispatcher never waits for responses; if the host cannot
+// spawn fast enough the report's achieved-vs-offered gap says so.
+func runOpen(client *http.Client, target string, bodies [][]byte, baseSeed int64, duration time.Duration, rps float64) []result {
+	interval := time.Duration(float64(time.Second) / rps)
+	n := int(duration.Seconds() * rps)
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(baseSeed))
+	picks := make([]int, n) // request mix chosen up front: reproducible and race-free
+	for i := range picks {
+		picks[i] = rng.Intn(len(bodies))
+	}
+
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, scheduled time.Time) {
+			defer wg.Done()
+			res := result{codes: make(map[int]int)}
+			resp, err := client.Post(target, "application/json", bytes.NewReader(bodies[picks[i]]))
+			elapsed := time.Since(scheduled) // from the schedule, not the send
+			if err != nil {
+				res.firstErr = err
+				res.codes[-1]++
+			} else {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.codes[resp.StatusCode]++
+				if resp.StatusCode == http.StatusOK {
+					res.latencies = append(res.latencies, elapsed)
+					if resp.Header.Get("X-Emts-Cache") == "hit" {
+						res.cacheHits++
+					}
+				}
+			}
+			results[i] = res
+		}(i, scheduled)
+	}
+	wg.Wait()
+	return results
+}
+
+// summary is the machine-readable report written by -json.
+type summary struct {
+	Mode        string         `json:"mode"` // "closed" or "open"
+	Requests    int            `json:"requests"`
+	DurationSec float64        `json:"duration_sec"`
+	OfferedRPS  float64        `json:"offered_rps,omitempty"` // open loop only
+	AchievedRPS float64        `json:"achieved_rps"`
+	Codes       map[string]int `json:"codes"`
+	CacheHits   int            `json:"cache_hits"`
+	P50Ms       float64        `json:"p50_ms"`
+	P95Ms       float64        `json:"p95_ms"`
+	P99Ms       float64        `json:"p99_ms"`
+	MaxMs       float64        `json:"max_ms"`
+}
+
+func report(out io.Writer, results []result, duration time.Duration, rps float64, jsonOut string) error {
 	var all []time.Duration
 	codes := make(map[int]int)
 	hits := 0
@@ -208,7 +303,11 @@ func report(out io.Writer, results []result, duration time.Duration) error {
 		total += codes[c]
 	}
 
-	fmt.Fprintf(out, "requests:   %d in %s (%.1f req/s)\n", total, duration, float64(total)/duration.Seconds())
+	achieved := float64(total) / duration.Seconds()
+	if rps > 0 {
+		fmt.Fprintf(out, "open loop:  offered %.1f req/s, achieved %.1f req/s\n", rps, achieved)
+	}
+	fmt.Fprintf(out, "requests:   %d in %s (%.1f req/s)\n", total, duration, achieved)
 	for _, c := range codeList {
 		label := strconv.Itoa(c)
 		if c == -1 {
@@ -226,6 +325,45 @@ func report(out io.Writer, results []result, duration time.Duration) error {
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	fmt.Fprintf(out, "latency:    p50 %s  p95 %s  p99 %s  max %s\n",
 		percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99), all[len(all)-1])
+
+	if jsonOut != "" {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		s := summary{
+			Mode:        "closed",
+			Requests:    total,
+			DurationSec: duration.Seconds(),
+			AchievedRPS: achieved,
+			Codes:       make(map[string]int, len(codes)),
+			CacheHits:   hits,
+			P50Ms:       ms(percentile(all, 0.50)),
+			P95Ms:       ms(percentile(all, 0.95)),
+			P99Ms:       ms(percentile(all, 0.99)),
+			MaxMs:       ms(all[len(all)-1]),
+		}
+		if rps > 0 {
+			s.Mode, s.OfferedRPS = "open", rps
+		}
+		for c, n := range codes {
+			label := strconv.Itoa(c)
+			if c == -1 {
+				label = "transport_error"
+			}
+			s.Codes[label] = n
+		}
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if jsonOut == "-" {
+			_, err = out.Write(b)
+		} else {
+			err = os.WriteFile(jsonOut, b, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing -json summary: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -63,7 +65,7 @@ func TestRunAgainstServer(t *testing.T) {
 	defer ts.Close()
 
 	var out strings.Builder
-	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 2, 2, 1, 300*time.Millisecond, 5*time.Second)
+	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 2, 2, 1, 300*time.Millisecond, 5*time.Second, 0, "")
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
@@ -75,8 +77,43 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestRunOpenLoop drives the open-loop mode at a modest fixed rate and checks
+// the offered-vs-achieved report plus the JSON summary.
+func TestRunOpenLoop(t *testing.T) {
+	svc := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	jsonPath := t.TempDir() + "/summary.json"
+	var out strings.Builder
+	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 1, 2, 1, 500*time.Millisecond, 5*time.Second, 40, jsonPath)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"open loop:", "offered 40.0", "achieved", "latency:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, b)
+	}
+	if s.Mode != "open" || s.OfferedRPS != 40 || s.Requests == 0 || s.P50Ms <= 0 {
+		t.Fatalf("summary %+v not filled", s)
+	}
+}
+
 func TestRunRejectsBadConcurrency(t *testing.T) {
-	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 0, 1, 1, time.Millisecond, time.Second); err == nil {
+	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 0, 1, 1, time.Millisecond, time.Second, 0, ""); err == nil {
 		t.Fatal("want error for -c 0")
+	}
+	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 1, 1, 1, time.Millisecond, time.Second, -5, ""); err == nil {
+		t.Fatal("want error for -rps -5")
 	}
 }

@@ -7,6 +7,17 @@
 //
 //	emts-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 30s]
 //	           [-cache 256] [-max-tasks 20000] [-quiet]
+//	           [-graph-entries 64] [-table-entries 128] [-cache-shards 0]
+//	           [-no-intern] [-no-pool] [-no-governor]
+//	           [-pprof addr] [-mutex-profile-fraction 0] [-block-profile-rate 0]
+//
+// The -no-* switches disable individual pieces of the cross-request
+// performance layer (graph/table interning, the shared Mapper pool, the CPU
+// governor) for A/B measurement; responses are bit-identical either way.
+//
+// -pprof starts net/http/pprof on a second listener (e.g. localhost:6060),
+// kept off the service address so profiles are never internet-facing by
+// accident. See README "Profiling" for the workflow.
 //
 // Endpoints:
 //
@@ -27,8 +38,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -45,6 +58,17 @@ func main() {
 		maxTasks  = flag.Int("max-tasks", 20000, "largest accepted graph (negative disables)")
 		drainWait = flag.Duration("drain", time.Minute, "shutdown drain budget")
 		quiet     = flag.Bool("quiet", false, "suppress request logs")
+
+		graphEntries = flag.Int("graph-entries", 0, "interned-graph LRU entries (0 = default 64, negative disables)")
+		tableEntries = flag.Int("table-entries", 0, "interned-table LRU entries (0 = default 128, negative disables)")
+		cacheShards  = flag.Int("cache-shards", 0, "fitness memo cache shards per run (0 = auto)")
+		noIntern     = flag.Bool("no-intern", false, "disable graph/table interning (A/B switch)")
+		noPool       = flag.Bool("no-pool", false, "disable the shared Mapper pool (A/B switch)")
+		noGovernor   = flag.Bool("no-governor", false, "disable the CPU governor (A/B switch)")
+
+		pprofAddr     = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+		mutexFraction = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction value (0 disables)")
+		blockRate     = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate value in ns (0 disables)")
 	)
 	flag.Parse()
 	var logW io.Writer = os.Stderr
@@ -52,16 +76,49 @@ func main() {
 		logW = nil
 	}
 	cfg := server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cache,
-		MaxTasks:       *maxTasks,
-		LogWriter:      logW,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		CacheEntries:     *cache,
+		MaxTasks:         *maxTasks,
+		LogWriter:        logW,
+		GraphEntries:     *graphEntries,
+		TableEntries:     *tableEntries,
+		CacheShards:      *cacheShards,
+		DisableInterning: *noIntern,
+		DisablePooling:   *noPool,
+		DisableGovernor:  *noGovernor,
+	}
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
 	}
 	if err := serve(*addr, cfg, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-serve:", err)
 		os.Exit(1)
+	}
+}
+
+// servePprof exposes the net/http/pprof handlers on their own listener and
+// mux — deliberately not the service mux, so the profiling surface is bound
+// to a loopback address while the API faces the network. Failure to listen is
+// logged, not fatal: profiling is an operator convenience.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(os.Stderr, "emts-serve: pprof on %s\n", addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "emts-serve: pprof listener:", err)
 	}
 }
 

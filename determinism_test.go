@@ -10,6 +10,7 @@ import (
 	"emts/internal/core"
 	"emts/internal/dag"
 	"emts/internal/daggen"
+	"emts/internal/evalpool"
 	"emts/internal/model"
 	"emts/internal/platform"
 )
@@ -129,5 +130,58 @@ func TestEvaluationEngineDeterminism(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCrossRequestLayerDeterminism pins the PR 5 axes: the shared Mapper
+// pool, the sharded memo cache, and the worker count (the CPU governor's
+// lever) must each leave every search-visible output bit-identical.
+func TestCrossRequestLayerDeterminism(t *testing.T) {
+	pool := evalpool.New(0, 0)
+	for _, g := range determinismGraphs(t) {
+		tab, err := model.NewTable(g, model.Synthetic{}, platform.Grelon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := core.EMTS5(42)
+		want, err := core.Run(g, tab, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range []struct {
+			name    string
+			pooled  bool
+			shards  int
+			workers int
+		}{
+			{"pool", true, 0, 0},
+			{"shards1", false, 1, 0},
+			{"shards4", false, 4, 4},
+			{"workers1", false, 0, 1},
+			{"pool+shards64+workers2", true, 64, 2},
+		} {
+			p := core.EMTS5(42)
+			p.CacheShards = c.shards
+			p.Workers = c.workers
+			if c.pooled {
+				p.MapperPool = pool
+			}
+			got, err := core.Run(g, tab, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", g.Name(), c.name, err)
+			}
+			if got.Makespan != want.Makespan ||
+				!reflect.DeepEqual(got.Alloc, want.Alloc) ||
+				!reflect.DeepEqual(got.History, want.History) ||
+				got.Evaluations != want.Evaluations ||
+				got.CacheHits != want.CacheHits {
+				t.Errorf("%s/%s: diverged from baseline (makespan %g vs %g, evals %d vs %d, hits %d vs %d)",
+					g.Name(), c.name, got.Makespan, want.Makespan,
+					got.Evaluations, want.Evaluations, got.CacheHits, want.CacheHits)
+			}
+		}
+	}
+	if hits, misses := pool.Stats(); hits == 0 || misses == 0 {
+		t.Errorf("pool Stats = (%d, %d): the pooled runs should both miss (cold) and hit (warm)", hits, misses)
 	}
 }

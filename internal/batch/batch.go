@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"emts/internal/dag"
+	"emts/internal/model"
 	"emts/internal/platform"
 	"emts/internal/sim"
 	"emts/internal/stats"
@@ -161,7 +162,19 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 	}
 
 	// Phase 1: partition sizes and per-job durations (PTG scheduling on a
-	// virtual sub-cluster of the granted size).
+	// virtual sub-cluster of the granted size). The execution-time model
+	// resolves once and tables are memoized per (graph, partition) — a stream
+	// of repeated PTGs on a shared policy used to rebuild the same V×P table
+	// for every job (the reuse sim.Compare already had).
+	m, err := sim.ModelByName(cfg.ModelName)
+	if err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	type tabKey struct {
+		g    *dag.Graph
+		part platform.Cluster
+	}
+	tabs := make(map[tabKey]*model.Table)
 	ordered := append([]Job(nil), jobs...)
 	sort.SliceStable(ordered, func(i, j int) bool {
 		//schedlint:allow floateq -- exact tie-break: (arrival, job ID) must be a strict total order so FCFS admission is deterministic
@@ -184,7 +197,16 @@ func Simulate(jobs []Job, cfg Config) (*Result, error) {
 			Procs:       procs,
 			SpeedGFlops: cfg.Cluster.SpeedGFlops,
 		}
-		rep, err := sim.Run(job.Graph, part, cfg.ModelName, cfg.Algorithm, cfg.Seed)
+		key := tabKey{g: job.Graph, part: part}
+		tab, ok := tabs[key]
+		if !ok {
+			tab, err = model.NewTable(job.Graph, m, part)
+			if err != nil {
+				return nil, fmt.Errorf("batch: job %d: %w", job.ID, err)
+			}
+			tabs[key] = tab
+		}
+		rep, err := sim.RunTable(job.Graph, part, tab, cfg.Algorithm, cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("batch: job %d: %w", job.ID, err)
 		}

@@ -25,6 +25,7 @@ import (
 	"emts/internal/alloc"
 	"emts/internal/dag"
 	"emts/internal/ea"
+	"emts/internal/evalpool"
 	"emts/internal/listsched"
 	"emts/internal/model"
 	"emts/internal/schedule"
@@ -83,6 +84,16 @@ type Params struct {
 	DisableDelta bool
 	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// CacheShards stripes the fitness memo cache (see ea.Config.CacheShards).
+	// Results are bit-identical for any value; 0 picks a default.
+	CacheShards int
+	// MapperPool, when non-nil, supplies the listsched.Mapper arenas for this
+	// run — the seed evaluator, every EA worker's evaluator pair, and the
+	// final schedule materialization — instead of constructing fresh ones.
+	// All checked-out Mappers are returned before RunContext returns. Results
+	// are bit-identical with or without a pool (Mapper.Rebind resets all
+	// instance state); nil means allocate per run, the pre-pool behavior.
+	MapperPool *evalpool.Pool
 	// Seed drives every stochastic choice. Equal seeds ⇒ identical results,
 	// which is how the paper guarantees EMTS10 finds every EMTS5 solution.
 	Seed int64
@@ -192,7 +203,32 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		seeders = DefaultSeeds(p.Seed)
 	}
 	res := &Result{}
-	seedMapper, err := listsched.NewMapper(g, tab)
+
+	// newMapper checks arenas out of the configured pool (warm checkouts
+	// rebind existing arenas with zero allocations) or constructs them fresh;
+	// every checked-out Mapper is returned when the run ends. All call sites
+	// run on this goroutine or inside the engine's serial evaluator
+	// construction (evalEngine.evaluator documents it must precede the worker
+	// goroutines), so checkedOut needs no lock.
+	var checkedOut []*listsched.Mapper
+	newMapper := func() (*listsched.Mapper, error) {
+		if p.MapperPool == nil {
+			return listsched.NewMapper(g, tab)
+		}
+		m, err := p.MapperPool.Get(g, tab)
+		if err != nil {
+			return nil, err
+		}
+		checkedOut = append(checkedOut, m)
+		return m, nil
+	}
+	defer func() {
+		for _, m := range checkedOut {
+			p.MapperPool.Put(m)
+		}
+	}()
+
+	seedMapper, err := newMapper()
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +285,7 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 	if !p.DisableCache {
 		baseOpt := listsched.Options{SkipProcSets: true, DisablePrefilter: p.DisablePrefilter}
 		deltaFactory = func() (ea.Evaluator, ea.DeltaEvaluator) {
-			m, err := listsched.NewMapper(g, tab)
+			m, err := newMapper()
 			if err != nil {
 				return fitness, nil // unreachable: sizes were validated above
 			}
@@ -291,6 +327,7 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		DeltaEvaluatorFactory: deltaFactory,
 		DisableDelta:          p.DisableDelta,
 		DisableCache:          p.DisableCache,
+		CacheShards:           p.CacheShards,
 		Strategy:              p.Strategy,
 		SelfAdaptive:          p.SelfAdaptive,
 		InitialSigma:          p.InitialSigma,
@@ -301,7 +338,10 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		return nil, err
 	}
 
-	sched, err := listsched.Map(g, tab, run.Best.Alloc)
+	// Materialize the best schedule on the seed Mapper instead of the one-shot
+	// package function: Mapper results are bit-identical to listsched.Map, and
+	// reusing the arena saves a full Mapper construction per run.
+	sched, err := seedMapper.Map(run.Best.Alloc)
 	if err != nil {
 		return nil, fmt.Errorf("emts: mapping best allocation: %w", err)
 	}

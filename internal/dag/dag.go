@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TaskID identifies a task inside one Graph. IDs are dense: a graph with V
@@ -79,6 +80,15 @@ type Graph struct {
 	// experiment), which is why they are cached rather than recomputed.
 	topo  []TaskID
 	indeg []int
+	// Precedence levels are likewise a pure function of the immutable
+	// adjacency, but unlike topo they are only needed by the level-bounded
+	// allocators — so they are computed lazily, once, on first use. On the
+	// serving path one interned Graph instance answers every repeat request,
+	// and memoizing here turns the per-request MCPA/Delta-CP seeding from
+	// O(V) allocations into a pointer read.
+	plOnce    sync.Once
+	plLevel   []int
+	plByLevel [][]TaskID
 }
 
 // buildCSR flattens a slice-of-slices adjacency into CSR form. Each segment
@@ -278,6 +288,23 @@ func (g *Graph) TopologicalOrder() ([]TaskID, error) {
 	return g.computeTopo()
 }
 
+// TopologicalOrderInto is TopologicalOrder writing into dst, which is grown
+// only when its capacity is insufficient — the allocation-free variant used
+// when a pooled Mapper is rebound to a new graph (DESIGN.md §12). The
+// returned slice aliases dst (when it fit) and is the caller's to modify.
+func (g *Graph) TopologicalOrderInto(dst []TaskID) ([]TaskID, error) {
+	if g.topo == nil && len(g.tasks) > 0 {
+		return g.computeTopo()
+	}
+	n := len(g.topo)
+	if cap(dst) < n {
+		dst = make([]TaskID, n)
+	}
+	dst = dst[:n]
+	copy(dst, g.topo)
+	return dst, nil
+}
+
 // topoOrder returns the cached topological order without copying. Internal
 // analysis passes use it read-only; a Graph that passed Build always has it.
 func (g *Graph) topoOrder() []TaskID {
@@ -333,27 +360,33 @@ func (g *Graph) computeTopo() ([]TaskID, error) {
 // (sources have level 0; otherwise 1 + max over predecessors), together with
 // the tasks grouped by level. This is the "precedence level" of Section III-B
 // used by the Delta-critical heuristic and by MCPA's level bound.
+//
+// The result is computed once and cached (the graph is immutable); callers
+// share the returned slices and must not modify them.
 func (g *Graph) PrecedenceLevels() (level []int, byLevel [][]TaskID) {
-	order := g.topoOrder()
-	level = make([]int, len(g.tasks))
-	maxLevel := 0
-	for _, v := range order {
-		l := 0
-		for _, p := range g.Predecessors(v) {
-			if level[p]+1 > l {
-				l = level[p] + 1
+	g.plOnce.Do(func() {
+		order := g.topoOrder()
+		lv := make([]int, len(g.tasks))
+		maxLevel := 0
+		for _, v := range order {
+			l := 0
+			for _, p := range g.Predecessors(v) {
+				if lv[p]+1 > l {
+					l = lv[p] + 1
+				}
+			}
+			lv[v] = l
+			if l > maxLevel {
+				maxLevel = l
 			}
 		}
-		level[v] = l
-		if l > maxLevel {
-			maxLevel = l
+		byLv := make([][]TaskID, maxLevel+1)
+		for i := range g.tasks {
+			byLv[lv[i]] = append(byLv[lv[i]], TaskID(i))
 		}
-	}
-	byLevel = make([][]TaskID, maxLevel+1)
-	for i := range g.tasks {
-		byLevel[level[i]] = append(byLevel[level[i]], TaskID(i))
-	}
-	return level, byLevel
+		g.plLevel, g.plByLevel = lv, byLv
+	})
+	return g.plLevel, g.plByLevel
 }
 
 // CostFunc maps a task to its (current) execution time. Analysis routines take

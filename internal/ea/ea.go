@@ -314,6 +314,13 @@ type Config struct {
 	// exact; see Result.CacheHits) — the switch exists for A/B measurement
 	// and regression tests.
 	DisableCache bool
+	// CacheShards stripes the fitness memo cache into this many
+	// independently locked shards (rounded up to a power of two, capped at
+	// 64) so concurrent workers inserting fresh results stop serializing on
+	// one map. 0 sizes the stripe count to Workers. Results are
+	// bit-identical for any shard count: the cache is exact and entries are
+	// located by full-vector comparison, so bucket order never matters.
+	CacheShards int
 	// Seed drives all stochastic choices; equal seeds give equal runs.
 	Seed int64
 	// Strategy selects plus- (default) or comma-selection.

@@ -3,6 +3,7 @@ package ea
 import (
 	"errors"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,14 +25,51 @@ import (
 // true fitness exceeds the bound (see Mapper.MakespanBounded), so a cache hit
 // with fitness f is treated as rejected precisely when f > rejectAbove.
 // Results are therefore bit-identical with the cache on or off.
+//
+// The cache is striped into power-of-two locked shards (DESIGN.md §12):
+// lookups run in the serial pre-pass, but fresh results are inserted by the
+// worker goroutines as they finish, so with Workers > 1 a single map mutex
+// would serialize the insert tail of every generation. Striping by the FNV
+// key's low bits spreads those inserts across independent locks. Shard count
+// never changes results: entries are found by full-vector comparison and the
+// same (alloc, fitness) pairs land in the cache in any interleaving.
 type evalEngine struct {
 	fallback     Evaluator
 	factory      func() Evaluator
 	deltaFactory func() (Evaluator, DeltaEvaluator)
 	workers      int
 	perW         []workerEval
-	cache        map[uint64][]memoEntry // nil when memoization is disabled
+	shards       []cacheShard // empty when memoization is disabled
+	shardMask    uint64
+
+	// Per-batch scratch, sized on first use and reused across generations so
+	// evaluateAll allocates nothing after warm-up (pooled evaluation state).
+	state  []int
+	errs   []error
+	keys   []uint64
+	toEval []int
+	reps   map[uint64][]int
 }
+
+// cacheShard is one stripe of the memo cache: a bucket map plus the arena
+// backing its entries' allocation copies. The padding keeps shards on
+// separate cache lines so concurrent inserts don't false-share.
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[uint64][]memoEntry
+	arena []int
+	_     [24]byte
+}
+
+// arenaChunkAllocs sizes the shard arena growth: each new chunk holds this
+// many allocation vectors. Entry copies are carved from the chunk, so a run
+// with F fresh evaluations costs O(F/arenaChunkAllocs) allocations per shard
+// instead of F individual clones.
+const arenaChunkAllocs = 64
+
+// maxCacheShards caps striping: beyond the core count extra shards only cost
+// memory.
+const maxCacheShards = 64
 
 // workerEval is one worker's evaluator pair. delta is nil unless the run
 // wired a DeltaEvaluatorFactory (and DisableDelta is off); when present it
@@ -43,9 +81,10 @@ type workerEval struct {
 }
 
 // memoEntry resolves hash collisions by keeping the full vector. The alloc
-// slice is a private copy made at insert time: offspring vectors are backed
-// by a per-generation arena that is overwritten by the next generation, so
-// retaining them by reference would corrupt the cache.
+// slice is a private copy carved from the shard arena at insert time:
+// offspring vectors are backed by a per-generation arena that is overwritten
+// by the next generation, so retaining them by reference would corrupt the
+// cache.
 type memoEntry struct {
 	alloc   schedule.Allocation
 	fitness float64
@@ -69,9 +108,36 @@ func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 		eng.workers = runtime.GOMAXPROCS(0)
 	}
 	if !cfg.DisableCache {
-		eng.cache = make(map[uint64][]memoEntry)
+		n := cfg.CacheShards
+		if n <= 0 {
+			n = eng.workers
+		}
+		if n > maxCacheShards {
+			n = maxCacheShards
+		}
+		// Round up to a power of two so shard selection is a mask of the FNV
+		// key's low bits.
+		if n&(n-1) != 0 {
+			n = 1 << bits.Len(uint(n))
+		}
+		eng.shards = make([]cacheShard, n)
+		eng.shardMask = uint64(n - 1)
+		for i := range eng.shards {
+			eng.shards[i].m = make(map[uint64][]memoEntry)
+		}
 	}
 	return eng
+}
+
+// cached reports whether memoization is on.
+func (eng *evalEngine) cached() bool { return len(eng.shards) > 0 }
+
+// shard selects the stripe for a key. FNV-1a mixes well in the low bits, so
+// masking suffices.
+//
+//schedlint:hotpath
+func (eng *evalEngine) shard(key uint64) *cacheShard {
+	return &eng.shards[key&eng.shardMask]
 }
 
 // evaluator returns the evaluator pair owned by worker w, constructing it on
@@ -93,19 +159,41 @@ func (eng *evalEngine) evaluator(w int) workerEval {
 
 //schedlint:hotpath
 func (eng *evalEngine) lookup(key uint64, a schedule.Allocation) (float64, bool) {
-	for _, e := range eng.cache[key] {
+	s := eng.shard(key)
+	s.mu.Lock()
+	for _, e := range s.m[key] {
 		if allocsEqual(e.alloc, a) {
+			s.mu.Unlock()
 			return e.fitness, true
 		}
 	}
+	s.mu.Unlock()
 	return 0, false
 }
 
+// insert records a fresh evaluation. Safe for concurrent use: workers insert
+// as they finish, each under its key's shard lock. The allocation is copied
+// into the shard arena (offspring vectors are generation-scoped; see
+// memoEntry).
+//
 //schedlint:hotpath
 func (eng *evalEngine) insert(key uint64, a schedule.Allocation, f float64) {
-	// Clone: a may be arena-backed and reused next generation; the cache
-	// needs its own copy (one allocation per *fresh* evaluation only).
-	eng.cache[key] = append(eng.cache[key], memoEntry{alloc: a.Clone(), fitness: f})
+	s := eng.shard(key)
+	s.mu.Lock()
+	n := len(a)
+	if len(s.arena)+n > cap(s.arena) {
+		chunk := arenaChunkAllocs * n
+		if chunk < n {
+			chunk = n
+		}
+		s.arena = make([]int, 0, chunk)
+	}
+	off := len(s.arena)
+	s.arena = s.arena[:off+n]
+	cp := s.arena[off : off+n : off+n]
+	copy(cp, a)
+	s.m[key] = append(s.m[key], memoEntry{alloc: cp, fitness: f})
+	s.mu.Unlock()
 }
 
 // hashAlloc is FNV-1a over the alleles, widened to uint64 per position.
@@ -133,6 +221,72 @@ func allocsEqual(a, b schedule.Allocation) bool {
 	return true
 }
 
+// evalOne runs one individual through the worker's evaluator pair and files
+// the outcome at its fixed index. Shared with the sequential fast path, so
+// the bookkeeping is identical in both modes.
+//
+//schedlint:hotpath
+func (eng *evalEngine) evalOne(ev workerEval, i int, inds []Individual, rejectAbove float64,
+	rejected, prefiltered *atomic.Int64, firstErr *atomic.Pointer[error]) {
+	var f float64
+	var err error
+	if ev.delta != nil && inds[i].parent != nil {
+		f, err = ev.delta(inds[i].Alloc, inds[i].parent, inds[i].mutated, rejectAbove)
+	} else {
+		f, err = ev.eval(inds[i].Alloc, rejectAbove)
+	}
+	switch {
+	case err == nil:
+		inds[i].Fitness = f
+		if eng.cached() {
+			eng.insert(eng.keys[i], inds[i].Alloc, f)
+		}
+	case errors.Is(err, ErrRejected):
+		inds[i].Fitness = math.Inf(1)
+		eng.errs[i] = err
+		rejected.Add(1)
+		if errors.Is(err, ErrRejectedPrefilter) {
+			prefiltered.Add(1)
+		}
+	default:
+		eng.errs[i] = err
+		e := err // confine the escape to the error path
+		firstErr.CompareAndSwap(nil, &e)
+	}
+}
+
+// batchScratch resizes the per-batch arrays for n individuals, reusing the
+// previous generation's backing memory.
+//
+//schedlint:hotpath
+func (eng *evalEngine) batchScratch(n int) {
+	eng.state = growScratch(eng.state, n)
+	eng.errs = growScratch(eng.errs, n)
+	eng.keys = growScratch(eng.keys, n)
+	if cap(eng.toEval) < n {
+		eng.toEval = make([]int, 0, n)
+	}
+	eng.toEval = eng.toEval[:0]
+	for i := 0; i < n; i++ {
+		eng.errs[i] = nil
+	}
+	if eng.reps == nil {
+		eng.reps = make(map[uint64][]int, n)
+	} else {
+		clear(eng.reps)
+	}
+}
+
+// growScratch returns s with length n, reallocating only when the capacity
+// is insufficient. Contents are unspecified; callers overwrite what they
+// read.
+func growScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // evaluateAll computes fitness for every individual, fanning out across a
 // bounded worker pool. Results land at fixed indices, so the outcome is
 // independent of goroutine interleaving. Rejected individuals get +Inf.
@@ -153,17 +307,15 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 		resolved  = -2 // answered from the memo cache
 		// >= 0: duplicate of the representative at that index
 	)
-	state := make([]int, n)
-	errs := make([]error, n)
-	keys := make([]uint64, n)
-	toEval := make([]int, 0, n)
+	eng.batchScratch(n)
+	state := eng.state
+	toEval := eng.toEval
 
 	var rejected atomic.Int64
-	if eng.cache != nil {
-		reps := make(map[uint64][]int, n)
+	if eng.cached() {
 		for i := range inds {
 			key := hashAlloc(inds[i].Alloc)
-			keys[i] = key
+			eng.keys[i] = key
 			if f, ok := eng.lookup(key, inds[i].Alloc); ok {
 				res.CacheHits++
 				if rejectAbove > 0 && f > rejectAbove {
@@ -176,7 +328,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 				continue
 			}
 			dup := -1
-			for _, j := range reps[key] {
+			for _, j := range eng.reps[key] {
 				if allocsEqual(inds[j].Alloc, inds[i].Alloc) {
 					dup = j
 					break
@@ -186,7 +338,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 				state[i] = dup
 				continue
 			}
-			reps[key] = append(reps[key], i)
+			eng.reps[key] = append(eng.reps[key], i)
 			state[i] = needsEval
 			toEval = append(toEval, i)
 		}
@@ -196,11 +348,15 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 			toEval = append(toEval, i)
 		}
 	}
+	eng.toEval = toEval
 
 	// Parallel phase: only unresolved representatives, one Evaluator per
-	// worker, disjoint writes per index. Shared bookkeeping is lock-free:
-	// rejected is an atomic counter and the first error is captured
-	// once-only by compare-and-swap.
+	// worker, disjoint writes per index. Shared bookkeeping is lock-free
+	// apart from the sharded cache inserts: rejected is an atomic counter and
+	// the first error is captured once-only by compare-and-swap. With a
+	// single worker the batch is evaluated inline — no goroutine, no channel
+	// — which is the saturated-server regime once the CPU governor degrades
+	// concurrent requests to one worker each.
 	var firstErr atomic.Pointer[error]
 	var prefiltered atomic.Int64
 	if len(toEval) > 0 {
@@ -208,48 +364,34 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 		if workers > len(toEval) {
 			workers = len(toEval)
 		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			//schedlint:allow hotalloc -- one closure per worker per batch, amortized over the whole generation's evaluations
-			go func(ev workerEval) {
-				defer wg.Done()
-				for i := range next {
-					var f float64
-					var err error
-					if ev.delta != nil && inds[i].parent != nil {
-						f, err = ev.delta(inds[i].Alloc, inds[i].parent, inds[i].mutated, rejectAbove)
-					} else {
-						f, err = ev.eval(inds[i].Alloc, rejectAbove)
+		if workers == 1 {
+			ev := eng.evaluator(0)
+			for _, i := range toEval {
+				eng.evalOne(ev, i, inds, rejectAbove, &rejected, &prefiltered, &firstErr)
+			}
+		} else {
+			var wg sync.WaitGroup
+			next := make(chan int)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				//schedlint:allow hotalloc -- one closure per worker per batch, amortized over the whole generation's evaluations
+				go func(ev workerEval) {
+					defer wg.Done()
+					for i := range next {
+						eng.evalOne(ev, i, inds, rejectAbove, &rejected, &prefiltered, &firstErr)
 					}
-					switch {
-					case err == nil:
-						inds[i].Fitness = f
-					case errors.Is(err, ErrRejected):
-						inds[i].Fitness = math.Inf(1)
-						errs[i] = err
-						rejected.Add(1)
-						if errors.Is(err, ErrRejectedPrefilter) {
-							prefiltered.Add(1)
-						}
-					default:
-						errs[i] = err
-						e := err // confine the escape to the error path
-						firstErr.CompareAndSwap(nil, &e)
-					}
-				}
-			}(eng.evaluator(w))
+				}(eng.evaluator(w))
+			}
+			for _, i := range toEval {
+				next <- i
+			}
+			close(next)
+			wg.Wait()
 		}
-		for _, i := range toEval {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
 	}
 
-	// Resolution phase: duplicates inherit their representative's outcome,
-	// and fresh successful evaluations enter the cache.
+	// Resolution phase: duplicates inherit their representative's outcome.
+	errs := eng.errs
 	for i := range inds {
 		j := state[i]
 		if j < 0 {
@@ -262,13 +404,6 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 		}
 		if errors.Is(errs[i], ErrRejected) {
 			rejected.Add(1)
-		}
-	}
-	if eng.cache != nil {
-		for _, i := range toEval {
-			if errs[i] == nil {
-				eng.insert(keys[i], inds[i].Alloc, inds[i].Fitness)
-			}
 		}
 	}
 

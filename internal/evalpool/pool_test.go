@@ -1,0 +1,204 @@
+package evalpool
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"emts/internal/dag"
+	"emts/internal/daggen"
+	"emts/internal/listsched"
+	"emts/internal/model"
+	"emts/internal/platform"
+	"emts/internal/schedule"
+)
+
+func testInstance(t testing.TB, n int, seed int64) (*dag.Graph, *model.Table) {
+	t.Helper()
+	g, err := daggen.Random(daggen.RandomConfig{
+		N: n, Width: 0.5, Regularity: 0.5, Density: 0.5, Jump: 2,
+	}, daggen.DefaultCosts(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, model.MustTable(g, model.Synthetic{}, platform.Grelon())
+}
+
+// TestPoolReuseSameShape: a returned Mapper must come back on the next
+// same-shape checkout (pointer identity), counted as a hit, and behave
+// exactly like a fresh Mapper on the new instance.
+func TestPoolReuseSameShape(t *testing.T) {
+	p := New(0, 0)
+	gA, tabA := testInstance(t, 60, 1)
+	gB, tabB := testInstance(t, 60, 2)
+
+	m1, err := p.Get(gA, tabA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := schedule.Ones(gA.NumTasks())
+	if _, err := m1.Makespan(alloc); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(m1)
+	if got := p.Len(); got != 1 {
+		t.Fatalf("Len after Put = %d, want 1", got)
+	}
+
+	m2, err := p.Get(gB, tabB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m1 {
+		t.Fatal("same-shape checkout did not reuse the pooled Mapper")
+	}
+	fresh, err := p.Get(gB, tabB) // pool now empty for this shape → fresh
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == m2 {
+		t.Fatal("second checkout returned the same Mapper twice")
+	}
+	for i := range alloc {
+		alloc[i] = 1 + i%tabB.Procs()
+	}
+	got, err := m2.Makespan(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Makespan(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("pooled Mapper makespan = %g, fresh = %g", got, want)
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("Stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+}
+
+// TestPoolShapeKeying: different shapes never share arenas.
+func TestPoolShapeKeying(t *testing.T) {
+	p := New(0, 0)
+	gA, tabA := testInstance(t, 40, 1)
+	gB, tabB := testInstance(t, 41, 1)
+	m, err := p.Get(gA, tabA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(m)
+	other, err := p.Get(gB, tabB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == m {
+		t.Fatal("checkout for a different shape reused a mismatched arena")
+	}
+	if _, misses := p.Stats(); misses != 2 {
+		t.Fatalf("misses = %d, want 2", misses)
+	}
+}
+
+// TestPoolBounds: the per-shape cap drops surplus Mappers and the shape cap
+// evicts the least recently used class wholesale.
+func TestPoolBounds(t *testing.T) {
+	p := New(2, 2)
+	gA, tabA := testInstance(t, 30, 1)
+	gB, tabB := testInstance(t, 31, 1)
+	gC, tabC := testInstance(t, 32, 1)
+
+	three := make([]*listsched.Mapper, 3)
+	for i := range three {
+		m, err := p.Get(gA, tabA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		three[i] = m
+	}
+	for _, m := range three {
+		p.Put(m)
+	}
+	if got := p.Len(); got != 2 {
+		t.Fatalf("Len after returning 3 to a maxPerShape=2 pool = %d, want 2", got)
+	}
+
+	// Introduce shapes B then C; with maxShapes=2 and A least recently used,
+	// A's bucket must be evicted.
+	for _, in := range []struct {
+		g   *dag.Graph
+		tab *model.Table
+	}{{gB, tabB}, {gC, tabC}} {
+		m, err := p.Get(in.g, in.tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Put(m)
+	}
+	m, err := p.Get(gA, tabA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range three {
+		if m == old {
+			t.Fatal("checkout for evicted shape A returned a pooled Mapper; expected a fresh one")
+		}
+	}
+	p.Put(m)
+}
+
+// TestPoolConcurrent hammers the pool from many goroutines under -race: each
+// worker loops checkout → evaluate → return on a shared instance and checks
+// the makespan against a reference value.
+func TestPoolConcurrent(t *testing.T) {
+	p := New(0, 0)
+	g, tab := testInstance(t, 80, 9)
+	alloc := schedule.Ones(g.NumTasks())
+	for i := range alloc {
+		alloc[i] = 1 + i%tab.Procs()
+	}
+	ref, err := listsched.Makespan(g, tab, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				m, err := p.Get(g, tab)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := m.Makespan(alloc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != ref {
+					errs <- errMakespanMismatch
+					return
+				}
+				if rng.Intn(4) > 0 { // occasionally abandon instead of returning
+					p.Put(m)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMakespanMismatch = errMismatch{}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "pooled Mapper makespan differs from reference" }

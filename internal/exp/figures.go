@@ -291,42 +291,60 @@ type Convergence struct {
 // ConvergenceTrace runs EMTS on every graph of a workload and aggregates the
 // per-generation improvement.
 func ConvergenceTrace(w Workload, cluster platform.Cluster, modelName, emtsName string, seed int64) (*Convergence, error) {
+	traces, err := ConvergenceTraces(w, cluster, modelName, []string{emtsName}, seed)
+	if err != nil {
+		return nil, err
+	}
+	return traces[emtsName], nil
+}
+
+// ConvergenceTraces is ConvergenceTrace for several EMTS variants at once,
+// building each instance's execution-time table exactly once — the table is a
+// pure function of (graph, model, cluster), so the EMTS5 and EMTS10 sweeps
+// share it. Results are identical to separate ConvergenceTrace calls.
+func ConvergenceTraces(w Workload, cluster platform.Cluster, modelName string, emtsNames []string, seed int64) (map[string]*Convergence, error) {
 	m, err := modelByName(modelName)
 	if err != nil {
 		return nil, err
 	}
-	params, err := emtsParams(emtsName, seed)
-	if err != nil {
-		return nil, err
-	}
-	var rel [][]float64
-	for _, g := range w.Graphs {
-		tab, err := model.NewTable(g, m, cluster)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Run(g, tab, params)
-		if err != nil {
-			return nil, err
-		}
-		r := make([]float64, len(res.History))
-		for i, h := range res.History {
-			r[i] = h / res.History[0]
-		}
-		rel = append(rel, r)
-	}
-	if len(rel) == 0 {
+	if len(w.Graphs) == 0 {
 		return nil, fmt.Errorf("exp: empty workload %q", w.Name)
 	}
-	conv := &Convergence{Instances: len(rel), MeanRelative: make([]float64, len(rel[0]))}
-	for u := range conv.MeanRelative {
-		col := make([]float64, len(rel))
-		for i := range rel {
-			col[i] = rel[i][u]
+	tabs := make([]*model.Table, len(w.Graphs))
+	for i, g := range w.Graphs {
+		if tabs[i], err = model.NewTable(g, m, cluster); err != nil {
+			return nil, err
 		}
-		conv.MeanRelative[u] = stats.Mean(col)
 	}
-	return conv, nil
+	traces := make(map[string]*Convergence, len(emtsNames))
+	for _, emtsName := range emtsNames {
+		params, err := emtsParams(emtsName, seed)
+		if err != nil {
+			return nil, err
+		}
+		var rel [][]float64
+		for i, g := range w.Graphs {
+			res, err := core.Run(g, tabs[i], params)
+			if err != nil {
+				return nil, err
+			}
+			r := make([]float64, len(res.History))
+			for j, h := range res.History {
+				r[j] = h / res.History[0]
+			}
+			rel = append(rel, r)
+		}
+		conv := &Convergence{Instances: len(rel), MeanRelative: make([]float64, len(rel[0]))}
+		for u := range conv.MeanRelative {
+			col := make([]float64, len(rel))
+			for i := range rel {
+				col[i] = rel[i][u]
+			}
+			conv.MeanRelative[u] = stats.Mean(col)
+		}
+		traces[emtsName] = conv
+	}
+	return traces, nil
 }
 
 // CSV renders a convergence trace: generation, mean best makespan relative

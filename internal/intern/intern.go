@@ -1,0 +1,233 @@
+// Package intern provides content-addressed caches for the two immutable,
+// expensive-to-build objects on the serving path: decoded dag.Graphs and
+// model execution-time Tables (DESIGN.md §12).
+//
+// Repeat-structure traffic — the loadgen seed-sweep case, or any client
+// scheduling the same PTG under many seeds or algorithms — used to pay JSON
+// decode, graph validation, topo/CSR construction, and the V×P model
+// evaluation on every request. Both object kinds are deeply immutable after
+// construction (dag.Graph documents itself safe for concurrent use; a Table
+// is never written after NewTable), so one instance can serve any number of
+// concurrent requests. Interning them keyed by content hash makes the warm
+// path a map lookup.
+//
+// Graphs are keyed by the SHA-256 of the raw request bytes — computable
+// before any decoding, so a hit skips the decoder entirely. Two spellings of
+// the same graph (whitespace, field order) intern separately, but converge at
+// the canonical layer: every entry carries the canonical re-encoding and its
+// digest, which downstream caches (response cache, table intern) key on.
+// Tables are keyed by (canonical graph digest, model name, cluster).
+//
+// Both caches are bounded LRUs and safe for concurrent use.
+package intern
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"emts/internal/dag"
+	"emts/internal/model"
+	"emts/internal/platform"
+)
+
+// DefaultEntries is the capacity used when a cache is constructed with a
+// non-positive bound.
+const DefaultEntries = 64
+
+// GraphEntry is one interned graph: the decoded DAG plus its canonical
+// encoding, shared by every request that submits the same bytes. All fields
+// are read-only after interning.
+type GraphEntry struct {
+	// Graph is the decoded, validated DAG (safe for concurrent use).
+	Graph *dag.Graph
+	// Canon is the canonical JSON re-encoding (deterministic task and edge
+	// order) — the bytes the response-cache key is computed over. Callers
+	// must not modify it.
+	Canon []byte
+	// CanonKey is hex(SHA-256(Canon)): the canonical identity of the graph,
+	// independent of the submitted spelling. Table interning keys on it.
+	CanonKey string
+}
+
+// Graphs is a bounded LRU of decoded graphs keyed by the SHA-256 of the raw
+// submitted bytes.
+type Graphs struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	byKey map[[sha256.Size]byte]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type graphItem struct {
+	key   [sha256.Size]byte
+	entry *GraphEntry
+}
+
+// NewGraphs returns a graph intern holding at most capacity entries
+// (non-positive selects DefaultEntries).
+func NewGraphs(capacity int) *Graphs {
+	if capacity <= 0 {
+		capacity = DefaultEntries
+	}
+	return &Graphs{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[[sha256.Size]byte]*list.Element, capacity),
+	}
+}
+
+// Get returns the interned entry for the raw graph bytes, decoding and
+// interning on first sight. The second result reports whether the entry was
+// already interned. Decode failures are returned verbatim (and never cached):
+// the caller's validation taxonomy is unchanged.
+func (c *Graphs) Get(raw []byte) (*GraphEntry, bool, error) {
+	key := sha256.Sum256(raw)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*graphItem).entry, true, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// Decode and canonicalize outside the lock: this is the expensive part,
+	// and concurrent first sightings of the same graph merely race to insert
+	// equivalent entries — the re-check below keeps one.
+	g, err := dag.UnmarshalGraph(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	canon, err := json.Marshal(g)
+	if err != nil {
+		return nil, false, err
+	}
+	sum := sha256.Sum256(canon)
+	entry := &GraphEntry{Graph: g, Canon: canon, CanonKey: hex.EncodeToString(sum[:])}
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		// Lost the insert race; adopt the winner so all requests share one
+		// graph instance.
+		c.ll.MoveToFront(el)
+		entry = el.Value.(*graphItem).entry
+	} else {
+		c.byKey[key] = c.ll.PushFront(&graphItem{key: key, entry: entry})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*graphItem).key)
+		}
+	}
+	c.mu.Unlock()
+	return entry, false, nil
+}
+
+// Stats reports lookup hits and misses since construction.
+func (c *Graphs) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the current number of interned graphs.
+func (c *Graphs) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// TableKey identifies an execution-time table: the canonical graph digest
+// plus everything NewTable consumes. platform.Cluster is a comparable value
+// type, so the struct is directly usable as a map key.
+type TableKey struct {
+	// GraphKey is GraphEntry.CanonKey — canonical, so two spellings of the
+	// same graph share tables.
+	GraphKey string
+	// Model is the normalized (lowercased) model name.
+	Model string
+	// Cluster is the resolved platform.
+	Cluster platform.Cluster
+}
+
+// Tables is a bounded LRU of execution-time tables.
+type Tables struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	byKey map[TableKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type tableItem struct {
+	key TableKey
+	tab *model.Table
+}
+
+// NewTables returns a table intern holding at most capacity entries
+// (non-positive selects DefaultEntries).
+func NewTables(capacity int) *Tables {
+	if capacity <= 0 {
+		capacity = DefaultEntries
+	}
+	return &Tables{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[TableKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the interned table for key, calling build to construct it on
+// first sight. The second result reports whether the table was already
+// interned. Build failures are returned verbatim and never cached.
+func (c *Tables) Get(key TableKey, build func() (*model.Table, error)) (*model.Table, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*tableItem).tab, true, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	tab, err := build()
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		tab = el.Value.(*tableItem).tab
+	} else {
+		c.byKey[key] = c.ll.PushFront(&tableItem{key: key, tab: tab})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.byKey, oldest.Value.(*tableItem).key)
+		}
+	}
+	c.mu.Unlock()
+	return tab, false, nil
+}
+
+// Stats reports lookup hits and misses since construction.
+func (c *Tables) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the current number of interned tables.
+func (c *Tables) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,196 @@
+package intern
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"emts/internal/model"
+	"emts/internal/platform"
+)
+
+// graphJSON builds a small valid PTG in the file format, with an adjustable
+// task count so tests can mint distinct graphs.
+func graphJSON(n int, name string) []byte {
+	type task struct {
+		ID    int     `json:"id"`
+		Flops float64 `json:"flops"`
+		Alpha float64 `json:"alpha"`
+	}
+	doc := map[string]any{"name": name}
+	tasks := make([]task, n)
+	for i := range tasks {
+		tasks[i] = task{ID: i, Flops: 1e9 + float64(i)*1e8, Alpha: 0.2}
+	}
+	doc["tasks"] = tasks
+	edges := make([][2]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	doc["edges"] = edges
+	b, err := json.Marshal(doc)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestGraphsInternAndStats(t *testing.T) {
+	c := NewGraphs(4)
+	raw := graphJSON(5, "g")
+
+	e1, hit, err := c.Get(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first Get reported a hit")
+	}
+	e2, hit, err := c.Get(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second Get missed")
+	}
+	if e1 != e2 || e1.Graph != e2.Graph {
+		t.Fatal("repeat Get did not share the interned entry")
+	}
+	if e1.Graph.NumTasks() != 5 {
+		t.Fatalf("decoded %d tasks, want 5", e1.Graph.NumTasks())
+	}
+	if len(e1.CanonKey) != 64 {
+		t.Fatalf("CanonKey %q is not a sha256 hex digest", e1.CanonKey)
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+// TestGraphsCanonicalConvergence: two spellings of the same graph intern as
+// separate raw entries but share the canonical identity.
+func TestGraphsCanonicalConvergence(t *testing.T) {
+	c := NewGraphs(4)
+	raw := graphJSON(4, "g")
+	spaced := append([]byte("  "), raw...) // same document, different bytes
+
+	a, _, err := c.Get(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, hit, err := c.Get(spaced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("different raw bytes reported as a raw-key hit")
+	}
+	if a.CanonKey != b.CanonKey {
+		t.Fatalf("canonical keys differ for equivalent graphs: %s vs %s", a.CanonKey, b.CanonKey)
+	}
+	if string(a.Canon) != string(b.Canon) {
+		t.Fatal("canonical encodings differ for equivalent graphs")
+	}
+}
+
+func TestGraphsEviction(t *testing.T) {
+	c := NewGraphs(2)
+	g0, g1, g2 := graphJSON(3, "a"), graphJSON(4, "b"), graphJSON(5, "c")
+	for _, raw := range [][]byte{g0, g1, g2} {
+		if _, _, err := c.Get(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d after exceeding capacity 2", got)
+	}
+	// g0 is the LRU victim; re-interning it must miss.
+	if _, hit, err := c.Get(g0); err != nil || hit {
+		t.Fatalf("evicted entry reported (hit=%v, err=%v), want fresh miss", hit, err)
+	}
+}
+
+func TestGraphsDecodeErrorNotCached(t *testing.T) {
+	c := NewGraphs(2)
+	bad := []byte(`{"name":"x","tasks":[{"id":0,"flops":-1,"alpha":0}]}`)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Get(bad); err == nil {
+			t.Fatal("invalid graph interned without error")
+		}
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("failed decode left %d entries in the cache", got)
+	}
+}
+
+func TestTablesIntern(t *testing.T) {
+	gc := NewGraphs(2)
+	entry, _, err := gc.Get(graphJSON(6, "g"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTables(2)
+	key := TableKey{GraphKey: entry.CanonKey, Model: "synthetic", Cluster: platform.Chti()}
+	builds := 0
+	build := func() (*model.Table, error) {
+		builds++
+		return model.NewTable(entry.Graph, model.Synthetic{}, platform.Chti())
+	}
+	t1, hit, err := tc.Get(key, build)
+	if err != nil || hit {
+		t.Fatalf("first Get: hit=%v err=%v", hit, err)
+	}
+	t2, hit, err := tc.Get(key, build)
+	if err != nil || !hit {
+		t.Fatalf("second Get: hit=%v err=%v", hit, err)
+	}
+	if t1 != t2 || builds != 1 {
+		t.Fatalf("table not shared (builds=%d)", builds)
+	}
+	// A different model under the same graph is a distinct table.
+	key2 := key
+	key2.Model = "amdahl"
+	if _, hit, err := tc.Get(key2, func() (*model.Table, error) {
+		return model.NewTable(entry.Graph, model.Amdahl{}, platform.Chti())
+	}); err != nil || hit {
+		t.Fatalf("distinct model key: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestGraphsConcurrent interns the same few graphs from many goroutines
+// under -race; all winners of an insert race must converge on one entry.
+func TestGraphsConcurrent(t *testing.T) {
+	c := NewGraphs(8)
+	raws := make([][]byte, 4)
+	for i := range raws {
+		raws[i] = graphJSON(3+i, fmt.Sprintf("g%d", i))
+	}
+	var wg sync.WaitGroup
+	entries := make([][]*GraphEntry, 8)
+	for w := range entries {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			entries[w] = make([]*GraphEntry, len(raws))
+			for i := 0; i < 100; i++ {
+				for j, raw := range raws {
+					e, _, err := c.Get(raw)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					entries[w][j] = e
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(entries); w++ {
+		for j := range raws {
+			if entries[w][j] != entries[0][j] {
+				t.Fatalf("goroutine %d holds a different interned entry for graph %d", w, j)
+			}
+		}
+	}
+}

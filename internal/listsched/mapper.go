@@ -80,32 +80,105 @@ type blBaseline struct {
 // NewMapper returns a Mapper for the given graph and execution-time table.
 // It fails if the table does not cover exactly the graph's tasks.
 func NewMapper(g *dag.Graph, tab *model.Table) (*Mapper, error) {
-	if tab.NumTasks() != g.NumTasks() {
-		return nil, fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
-	}
-	m := &Mapper{g: g, tab: tab, procs: tab.Procs()}
+	m := &Mapper{}
 	m.cost = func(id dag.TaskID) float64 { return m.tab.Time(id, m.cur[id]) }
-	n := g.NumTasks()
-	m.bl = make([]float64, n)
-	m.indeg = make([]int, n)
-	m.readyTime = make([]float64, n)
-	m.avail = make([]float64, m.procs)
-	m.order = make([]int, m.procs)
-	m.scratch = make([]int, m.procs)
-	m.mark = make([]bool, m.procs)
-	m.ready.items = make([]dag.TaskID, 0, n)
-	order, err := g.TopologicalOrder()
-	if err != nil {
+	if err := m.bind(g, tab); err != nil {
 		return nil, err
 	}
-	m.topoPos = make([]int32, n)
-	m.topoOrder = make([]dag.TaskID, n)
+	return m, nil
+}
+
+// Rebind points an existing Mapper at a new (graph, table) pair, reusing
+// every arena whose capacity suffices — for a pair of the same shape (task
+// count, processor count) it performs zero heap allocations. All cached state
+// that depends on the previous pair (bottom-level baselines, delta dirty
+// flags) is cleared, so results after a Rebind are bit-identical to those of
+// a fresh NewMapper(g, tab). This is the pool reset protocol of DESIGN.md
+// §12: evalpool checks Mappers out per request and rebinds them instead of
+// reallocating ~10 arenas per worker per request.
+//
+//schedlint:hotpath
+func (m *Mapper) Rebind(g *dag.Graph, tab *model.Table) error {
+	return m.bind(g, tab)
+}
+
+// Release drops the graph, table, and baseline-key references so a Mapper
+// parked in a pool does not pin request-scoped objects (interned graphs and
+// tables must stay evictable, and baseline keys hold parent allocation
+// vectors alive). Arenas are retained; a subsequent Rebind restores the
+// Mapper to service.
+//
+//schedlint:hotpath
+func (m *Mapper) Release() {
+	m.g = nil
+	m.tab = nil
+	m.cur = nil
+	m.ready.bl = nil
+	for i := range m.baselines {
+		m.baselines[i].key = nil
+	}
+}
+
+// Shape reports the (task count, processor count) the Mapper's arenas are
+// sized for. It remains valid after Release, which is what lets a pool file a
+// released Mapper under its shape without holding the graph alive.
+func (m *Mapper) Shape() (tasks, procs int) { return len(m.bl), m.procs }
+
+// grow returns s resized to length n, reallocating only when the capacity is
+// insufficient. Reused elements keep their old values; callers that need a
+// cleared arena must reset it explicitly.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// bind sizes every arena for (g, tab) and resets all pair-dependent state.
+// Shared by NewMapper (all capacities zero, so everything allocates) and
+// Rebind (same-shape pairs reuse every arena).
+func (m *Mapper) bind(g *dag.Graph, tab *model.Table) error {
+	if tab.NumTasks() != g.NumTasks() {
+		return fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
+	}
+	order, err := g.TopologicalOrderInto(m.topoOrder)
+	if err != nil {
+		return err
+	}
+	m.g, m.tab, m.procs = g, tab, tab.Procs()
+	n := g.NumTasks()
+	m.bl = grow(m.bl, n)
+	m.indeg = grow(m.indeg, n)
+	m.readyTime = grow(m.readyTime, n)
+	m.avail = grow(m.avail, m.procs)
+	m.order = grow(m.order, m.procs)
+	m.scratch = grow(m.scratch, m.procs)
+	m.mark = grow(m.mark, m.procs)
+	for i := range m.mark {
+		m.mark[i] = false
+	}
+	if cap(m.ready.items) < n {
+		m.ready.items = make([]dag.TaskID, 0, n)
+	}
+	m.ready.items = m.ready.items[:0]
+	m.ready.bl = nil
+	m.topoOrder = order
+	m.topoPos = grow(m.topoPos, n)
 	for i, v := range order {
 		m.topoPos[v] = int32(i)
-		m.topoOrder[i] = v
 	}
-	m.inq = make([]bool, n)
-	return m, nil
+	m.inq = grow(m.inq, n)
+	for i := range m.inq {
+		m.inq[i] = false
+	}
+	// Baseline rows cache bottom levels of the previous pair; invalidate the
+	// keys but keep the float rows for reuse by the next binding.
+	for i := range m.baselines {
+		m.baselines[i].key = nil
+	}
+	m.nextBase = 0
+	m.cur = nil
+	return nil
 }
 
 // Makespan maps the allocation and returns only the resulting makespan — the

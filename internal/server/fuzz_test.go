@@ -2,6 +2,8 @@ package server
 
 import (
 	"testing"
+
+	"emts/internal/intern"
 )
 
 // FuzzDecodeScheduleRequest hammers the /v1/schedule request decoder: it must
@@ -23,10 +25,20 @@ func FuzzDecodeScheduleRequest(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	graphs := intern.NewGraphs(16)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, err := parseScheduleRequest(data, 1000)
+		p, err := parseScheduleRequest(data, 1000, nil)
+		// The interned path must accept and reject exactly the same inputs and
+		// produce the same canonical key.
+		pi, erri := parseScheduleRequest(data, 1000, graphs)
+		if (err == nil) != (erri == nil) {
+			t.Fatalf("intern changed acceptance: plain err=%v, interned err=%v", err, erri)
+		}
 		if err != nil {
 			return
+		}
+		if pi.key != p.key || pi.graphKey != p.graphKey {
+			t.Fatalf("intern changed canonical keys: %s/%s vs %s/%s", p.key, p.graphKey, pi.key, pi.graphKey)
 		}
 		// Accepted requests must be fully resolved.
 		if p.graph == nil || p.graph.NumTasks() == 0 {

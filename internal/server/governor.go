@@ -1,0 +1,70 @@
+package server
+
+import "sync"
+
+// governor is the global CPU token pool (DESIGN.md §12). Before the
+// governor, every EMTS request fanned its EA out to GOMAXPROCS workers while
+// the server ran up to GOMAXPROCS requests concurrently — quadratic goroutine
+// pressure under load. The governor sizes the fleet's total evaluation
+// parallelism to the machine instead: capacity tokens exist; each request
+// acquires a grant sized max(1, tokens available) for the duration of its
+// computation.
+//
+// The grant is non-blocking by design — a weighted semaphore that *waits* for
+// tokens would add queueing latency on top of the admission queue and risk
+// convoying. Instead, a lone request takes every core, and requests arriving
+// while others compute degrade to sequential evaluation (the engine's
+// workers=1 inline path). EMTS runs complete in milliseconds, so tokens turn
+// over quickly and sustained concurrent load converges to ~one core per
+// request — graceful degradation on time average. available goes negative
+// under overdraft (every request is guaranteed at least one worker); the
+// bounded server worker pool caps the overdraft at Config.Workers.
+//
+// Fairness policy: grants are sized at acquisition time and never rebalanced
+// mid-run — results must be independent of timing, and ea results are
+// worker-count-independent (fixed-index result writes), which is what makes
+// the governor response-safe: any grant size yields bit-identical output.
+type governor struct {
+	mu        sync.Mutex
+	capacity  int
+	available int
+}
+
+func newGovernor(capacity int) *governor {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &governor{capacity: capacity, available: capacity}
+}
+
+// acquire grants worker tokens: all currently available ones, but always at
+// least 1 and at most capacity. The returned release must be called exactly
+// once when the computation ends.
+func (g *governor) acquire() (tokens int, release func()) {
+	g.mu.Lock()
+	n := g.available
+	if n < 1 {
+		n = 1
+	}
+	if n > g.capacity {
+		n = g.capacity
+	}
+	g.available -= n
+	g.mu.Unlock()
+	var once sync.Once
+	return n, func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.available += n
+			g.mu.Unlock()
+		})
+	}
+}
+
+// Available samples the current token count (negative under overdraft); for
+// the /metrics gauge.
+func (g *governor) Available() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.available
+}

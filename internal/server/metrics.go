@@ -52,6 +52,13 @@ type metrics struct {
 	queueDepth    func() int
 	queueCapacity int
 	cacheEntries  func() int
+	// Cross-request performance layer samplers (nil when the corresponding
+	// feature is disabled; the series are then omitted).
+	graphStats        func() (hits, misses uint64)
+	tableStats        func() (hits, misses uint64)
+	poolStats         func() (hits, misses uint64)
+	governorAvailable func() int
+	governorCapacity  int
 
 	mu sync.Mutex
 	// requests counts finished HTTP requests by status code, across all
@@ -177,6 +184,33 @@ func (m *metrics) WriteTo(w io.Writer) (int64, error) {
 	fmt.Fprintln(cw, "# HELP emts_cache_entries Response-cache entries resident.")
 	fmt.Fprintln(cw, "# TYPE emts_cache_entries gauge")
 	fmt.Fprintf(cw, "emts_cache_entries %d\n", m.cacheEntries())
+
+	writeHitMiss := func(name, help string, stats func() (uint64, uint64)) {
+		hits, misses := stats()
+		fmt.Fprintf(cw, "# HELP %s_hits_total %s hits.\n", name, help)
+		fmt.Fprintf(cw, "# TYPE %s_hits_total counter\n", name)
+		fmt.Fprintf(cw, "%s_hits_total %d\n", name, hits)
+		fmt.Fprintf(cw, "# HELP %s_misses_total %s misses.\n", name, help)
+		fmt.Fprintf(cw, "# TYPE %s_misses_total counter\n", name)
+		fmt.Fprintf(cw, "%s_misses_total %d\n", name, misses)
+	}
+	if m.graphStats != nil {
+		writeHitMiss("emts_intern_graph", "Graph-intern", m.graphStats)
+	}
+	if m.tableStats != nil {
+		writeHitMiss("emts_intern_table", "Table-intern", m.tableStats)
+	}
+	if m.poolStats != nil {
+		writeHitMiss("emts_mapper_pool", "Mapper-pool checkout", m.poolStats)
+	}
+	if m.governorAvailable != nil {
+		fmt.Fprintln(cw, "# HELP emts_governor_tokens_available CPU governor tokens currently free (negative under overdraft).")
+		fmt.Fprintln(cw, "# TYPE emts_governor_tokens_available gauge")
+		fmt.Fprintf(cw, "emts_governor_tokens_available %d\n", m.governorAvailable())
+		fmt.Fprintln(cw, "# HELP emts_governor_tokens_capacity CPU governor token capacity.")
+		fmt.Fprintln(cw, "# TYPE emts_governor_tokens_capacity gauge")
+		fmt.Fprintf(cw, "emts_governor_tokens_capacity %d\n", m.governorCapacity)
+	}
 
 	return cw.n, cw.err
 }

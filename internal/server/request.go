@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"emts/internal/dag"
+	"emts/internal/intern"
 	"emts/internal/platform"
 )
 
@@ -74,12 +75,21 @@ type parsedRequest struct {
 	// key is the canonical cache key: a digest over the canonical graph
 	// encoding, the resolved cluster, and the normalized run parameters.
 	key string
+	// graphKey is the canonical identity of the graph alone
+	// (hex SHA-256 of its canonical encoding) — the table intern keys on it.
+	graphKey string
+	// graphInterned reports that the graph came out of the intern instead of
+	// the decoder (the X-Emts-Interned header's graph component).
+	graphInterned bool
 }
 
 // parseScheduleRequest decodes and validates an untrusted request body.
-// maxTasks bounds the accepted graph size (0 = unlimited). All rejections are
-// typed: *RequestError or *dag.DecodeError.
-func parseScheduleRequest(body []byte, maxTasks int) (*parsedRequest, error) {
+// maxTasks bounds the accepted graph size (0 = unlimited). When graphs is
+// non-nil, the graph is resolved through the intern: a repeat submission of
+// the same bytes skips JSON decoding, graph construction, and the canonical
+// re-encoding entirely. All rejections are typed (*RequestError or
+// *dag.DecodeError) and identical with or without an intern.
+func parseScheduleRequest(body []byte, maxTasks int, graphs *intern.Graphs) (*parsedRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req ScheduleRequest
@@ -93,9 +103,30 @@ func parseScheduleRequest(body []byte, maxTasks int) (*parsedRequest, error) {
 	if len(req.Graph) == 0 {
 		return nil, requestErrorf("graph", "missing")
 	}
-	g, err := dag.UnmarshalGraph(req.Graph)
-	if err != nil {
-		return nil, err // *dag.DecodeError for validation, fmt for malformed JSON
+	var (
+		g        *dag.Graph
+		canon    []byte
+		graphKey string
+		hit      bool
+	)
+	if graphs != nil {
+		entry, wasInterned, err := graphs.Get(req.Graph)
+		if err != nil {
+			return nil, err // *dag.DecodeError for validation, fmt for malformed JSON
+		}
+		g, canon, graphKey, hit = entry.Graph, entry.Canon, entry.CanonKey, wasInterned
+	} else {
+		var err error
+		g, err = dag.UnmarshalGraph(req.Graph)
+		if err != nil {
+			return nil, err
+		}
+		canon, err = json.Marshal(g)
+		if err != nil {
+			return nil, fmt.Errorf("server: canonicalizing request: %w", err)
+		}
+		sum := sha256.Sum256(canon)
+		graphKey = hex.EncodeToString(sum[:])
 	}
 	if g.NumTasks() == 0 {
 		return nil, requestErrorf("graph.tasks", "empty graph")
@@ -111,11 +142,13 @@ func parseScheduleRequest(body []byte, maxTasks int) (*parsedRequest, error) {
 		return nil, requestErrorf("timeout_ms", "negative value %d", req.TimeoutMS)
 	}
 	p := &parsedRequest{
-		req:       req,
-		graph:     g,
-		cluster:   cluster,
-		model:     strings.ToLower(req.Model),
-		algorithm: strings.ToLower(req.Algorithm),
+		req:           req,
+		graph:         g,
+		cluster:       cluster,
+		model:         strings.ToLower(req.Model),
+		algorithm:     strings.ToLower(req.Algorithm),
+		graphKey:      graphKey,
+		graphInterned: hit,
 	}
 	if p.model == "" {
 		p.model = "synthetic"
@@ -123,11 +156,7 @@ func parseScheduleRequest(body []byte, maxTasks int) (*parsedRequest, error) {
 	if p.algorithm == "" {
 		p.algorithm = "emts5"
 	}
-	key, err := canonicalKey(g, cluster, p.model, p.algorithm, req.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("server: canonicalizing request: %w", err)
-	}
-	p.key = key
+	p.key = canonicalKey(canon, cluster, p.model, p.algorithm, req.Seed)
 	return p, nil
 }
 
@@ -156,18 +185,16 @@ func (cs ClusterSpec) resolve() (platform.Cluster, error) {
 	return c, nil
 }
 
-// canonicalKey digests the semantic content of a request. The graph is
-// re-encoded through its canonical MarshalJSON (deterministic task and edge
-// order), so two submissions that differ only in JSON whitespace, field
-// order, or float spelling of the same value stream map to the same key.
-func canonicalKey(g *dag.Graph, cluster platform.Cluster, model, algorithm string, seed int64) (string, error) {
+// canonicalKey digests the semantic content of a request. canonGraph is the
+// graph's canonical MarshalJSON encoding (deterministic task and edge order,
+// cached by the intern), so two submissions that differ only in JSON
+// whitespace, field order, or float spelling of the same value stream map to
+// the same key. The digest layout is unchanged from the pre-intern code, so
+// the response cache keys identically whether interning is on or off.
+func canonicalKey(canonGraph []byte, cluster platform.Cluster, model, algorithm string, seed int64) string {
 	h := sha256.New()
-	gb, err := json.Marshal(g)
-	if err != nil {
-		return "", err
-	}
-	h.Write(gb)
+	h.Write(canonGraph)
 	fmt.Fprintf(h, "\x00%s\x00%d\x00%g\x00%s\x00%s\x00%s",
 		cluster.Name, cluster.Procs, cluster.SpeedGFlops, model, algorithm, strconv.FormatInt(seed, 10))
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return hex.EncodeToString(h.Sum(nil))
 }

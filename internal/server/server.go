@@ -42,6 +42,9 @@ import (
 	"time"
 
 	"emts/internal/dag"
+	"emts/internal/evalpool"
+	"emts/internal/intern"
+	"emts/internal/model"
 	"emts/internal/platform"
 	"emts/internal/sim"
 )
@@ -71,6 +74,31 @@ type Config struct {
 	MaxRequestBytes int64
 	// LogWriter receives JSON-line request logs (nil disables logging).
 	LogWriter io.Writer
+	// GraphEntries bounds the interned-graph LRU (default 64; negative
+	// disables graph interning).
+	GraphEntries int
+	// TableEntries bounds the interned-table LRU (default 128; negative
+	// disables table interning).
+	TableEntries int
+	// CacheShards stripes each run's fitness memo cache (see
+	// ea.Config.CacheShards; 0 picks a default).
+	CacheShards int
+	// DisableInterning turns off graph and table interning: every request
+	// then decodes its graph and builds its table from scratch. Responses
+	// are bit-identical either way (interned objects are immutable and
+	// keyed by content) — the switch exists for A/B measurement and the
+	// determinism meta-tests.
+	DisableInterning bool
+	// DisablePooling turns off the shared Mapper arena pool: every run then
+	// allocates fresh evaluation state. Responses are bit-identical either
+	// way (Mapper.Rebind resets all instance state); A/B switch like
+	// DisableInterning.
+	DisablePooling bool
+	// DisableGovernor turns off the global CPU governor: every run then
+	// fans out to GOMAXPROCS EA workers regardless of concurrent load.
+	// Responses are bit-identical either way (ea results are independent of
+	// worker count); A/B switch like DisableInterning.
+	DisableGovernor bool
 }
 
 // withDefaults fills unset fields.
@@ -96,12 +124,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 8 << 20
 	}
+	if c.GraphEntries == 0 {
+		c.GraphEntries = intern.DefaultEntries
+	}
+	if c.TableEntries == 0 {
+		c.TableEntries = 2 * intern.DefaultEntries
+	}
 	return c
 }
 
 // runFunc is the compute seam: production servers schedule through
-// sim.RunContext; lifecycle tests substitute controllable stubs.
-type runFunc func(ctx context.Context, g *dag.Graph, cluster platform.Cluster, model, algorithm string, seed int64) (*sim.Report, error)
+// sim.RunTableOpts; lifecycle tests substitute controllable stubs. The table
+// is resolved by the server (through the intern when enabled) before the seam
+// is crossed.
+type runFunc func(ctx context.Context, g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64, opt sim.Options) (*sim.Report, error)
 
 // Server is the scheduling service. Create with New, expose via Handler, and
 // stop with Shutdown.
@@ -124,6 +160,15 @@ type Server struct {
 	cacheMu sync.Mutex
 	cache   *responseCache
 
+	// Cross-request performance layer (DESIGN.md §12): content-addressed
+	// graph/table interns, the shared Mapper arena pool, and the CPU
+	// governor. Each is nil when its Config switch disables it; responses
+	// are bit-identical in every combination.
+	graphs *intern.Graphs
+	tables *intern.Tables
+	pool   *evalpool.Pool
+	gov    *governor
+
 	reqID atomic.Uint64
 	ready atomic.Bool
 }
@@ -143,6 +188,10 @@ type jobResult struct {
 	code    int
 	body    []byte
 	outcome string
+	// interned is the X-Emts-Interned header value ("graph", "table",
+	// "graph,table", or "") describing which interned objects served this
+	// computation.
+	interned string
 }
 
 // New builds the server and starts its worker pool.
@@ -153,10 +202,24 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		cache:   newResponseCache(cfg.CacheEntries),
 		queue:   make(chan *job, cfg.QueueDepth),
-		run:     sim.RunContext,
+		run:     sim.RunTableOpts,
 	}
 	if cfg.LogWriter != nil {
 		s.log = &logger{w: cfg.LogWriter}
+	}
+	if !cfg.DisableInterning {
+		if cfg.GraphEntries > 0 {
+			s.graphs = intern.NewGraphs(cfg.GraphEntries)
+		}
+		if cfg.TableEntries > 0 {
+			s.tables = intern.NewTables(cfg.TableEntries)
+		}
+	}
+	if !cfg.DisablePooling {
+		s.pool = evalpool.New(0, 0)
+	}
+	if !cfg.DisableGovernor {
+		s.gov = newGovernor(runtime.GOMAXPROCS(0))
 	}
 	s.metrics.queueDepth = func() int { return len(s.queue) }
 	s.metrics.queueCapacity = cfg.QueueDepth
@@ -164,6 +227,19 @@ func New(cfg Config) *Server {
 		s.cacheMu.Lock()
 		defer s.cacheMu.Unlock()
 		return s.cache.len()
+	}
+	if s.graphs != nil {
+		s.metrics.graphStats = s.graphs.Stats
+	}
+	if s.tables != nil {
+		s.metrics.tableStats = s.tables.Stats
+	}
+	if s.pool != nil {
+		s.metrics.poolStats = s.pool.Stats
+	}
+	if s.gov != nil {
+		s.metrics.governorAvailable = s.gov.Available
+		s.metrics.governorCapacity = s.gov.capacity
 	}
 
 	mux := http.NewServeMux()
@@ -241,6 +317,41 @@ func (s *Server) worker() {
 	}
 }
 
+// resolveTable builds (or fetches from the intern) the execution-time table
+// for the request's graph, model, and cluster. Interned hits skip the V×P
+// model evaluation entirely. Errors come from sim.ModelByName
+// (sim.ErrUnknownModel → 400) or model.NewTable, identical with or without
+// the intern.
+func (s *Server) resolveTable(p *parsedRequest) (tab *model.Table, interned bool, err error) {
+	build := func() (*model.Table, error) {
+		m, err := sim.ModelByName(p.model)
+		if err != nil {
+			return nil, err
+		}
+		return model.NewTable(p.graph, m, p.cluster)
+	}
+	if s.tables == nil {
+		tab, err = build()
+		return tab, false, err
+	}
+	key := intern.TableKey{GraphKey: p.graphKey, Model: p.model, Cluster: p.cluster}
+	return s.tables.Get(key, build)
+}
+
+// errorResult classifies a computation failure into an HTTP result.
+func (s *Server) errorResult(err error, algorithm string) jobResult {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return s.cancelResult(err, algorithm)
+	case errors.Is(err, sim.ErrUnknownAlgorithm), errors.Is(err, sim.ErrUnknownModel), errors.Is(err, sim.ErrBadCluster):
+		s.metrics.countOutcome(algorithm, "client_error")
+		return jobResult{code: http.StatusBadRequest, body: errorBody(err.Error(), ""), outcome: "client_error"}
+	default:
+		s.metrics.countOutcome(algorithm, "error")
+		return jobResult{code: http.StatusInternalServerError, body: errorBody(err.Error(), ""), outcome: "error"}
+	}
+}
+
 // compute runs one schedule computation and classifies the outcome.
 func (s *Server) compute(j *job) jobResult {
 	p := j.parsed
@@ -249,20 +360,35 @@ func (s *Server) compute(j *job) jobResult {
 	if err := j.ctx.Err(); err != nil {
 		return s.cancelResult(err, p.algorithm)
 	}
+	tab, tableInterned, err := s.resolveTable(p)
+	if err != nil {
+		return s.errorResult(err, p.algorithm)
+	}
+	interned := ""
+	switch {
+	case p.graphInterned && tableInterned:
+		interned = "graph,table"
+	case p.graphInterned:
+		interned = "graph"
+	case tableInterned:
+		interned = "table"
+	}
+
+	// The governor sizes this run's EA parallelism to the tokens currently
+	// free; responses are identical for any grant (worker-count-independent
+	// engine), so only throughput depends on the grant.
+	opt := sim.Options{CacheShards: s.cfg.CacheShards, MapperPool: s.pool}
+	if s.gov != nil {
+		tokens, release := s.gov.acquire()
+		defer release()
+		opt.Workers = tokens
+	}
+
 	start := time.Now()
-	rep, err := s.run(j.ctx, p.graph, p.cluster, p.model, p.algorithm, p.req.Seed)
+	rep, err := s.run(j.ctx, p.graph, p.cluster, tab, p.algorithm, p.req.Seed, opt)
 	elapsed := time.Since(start)
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			return s.cancelResult(err, p.algorithm)
-		case errors.Is(err, sim.ErrUnknownAlgorithm), errors.Is(err, sim.ErrUnknownModel), errors.Is(err, sim.ErrBadCluster):
-			s.metrics.countOutcome(p.algorithm, "client_error")
-			return jobResult{code: http.StatusBadRequest, body: errorBody(err.Error(), ""), outcome: "client_error"}
-		default:
-			s.metrics.countOutcome(p.algorithm, "error")
-			return jobResult{code: http.StatusInternalServerError, body: errorBody(err.Error(), ""), outcome: "error"}
-		}
+		return s.errorResult(err, p.algorithm)
 	}
 	body, merr := marshalResponse(rep)
 	if merr != nil {
@@ -274,7 +400,7 @@ func (s *Server) compute(j *job) jobResult {
 	s.cacheMu.Lock()
 	s.cache.put(p.key, body)
 	s.cacheMu.Unlock()
-	return jobResult{code: http.StatusOK, body: body, outcome: "ok"}
+	return jobResult{code: http.StatusOK, body: body, outcome: "ok", interned: interned}
 }
 
 // cancelResult classifies a context failure: deadline expiry is reported as
@@ -308,7 +434,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if maxTasks < 0 {
 		maxTasks = 0
 	}
-	parsed, err := parseScheduleRequest(body, maxTasks)
+	parsed, err := parseScheduleRequest(body, maxTasks, s.graphs)
 	if err != nil {
 		var reqErr *RequestError
 		var decErr *dag.DecodeError
@@ -330,6 +456,11 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Emts-Cache", "hit")
+		if parsed.graphInterned {
+			// Only the graph component is known on the fast path — no table
+			// was consulted.
+			w.Header().Set("X-Emts-Interned", "graph")
+		}
 		writeBody(w, http.StatusOK, cached)
 		return
 	}
@@ -377,6 +508,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// aborts the EA within one generation, freeing the slot.
 	select {
 	case res := <-j.result:
+		if res.interned != "" {
+			w.Header().Set("X-Emts-Interned", res.interned)
+		}
 		writeBody(w, res.code, res.body)
 	case <-ctx.Done():
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {

@@ -15,6 +15,7 @@ import (
 
 	"emts/internal/dag"
 	"emts/internal/daggen"
+	"emts/internal/model"
 	"emts/internal/platform"
 	"emts/internal/sim"
 )
@@ -216,14 +217,14 @@ func TestCacheHitByteIdentity(t *testing.T) {
 // blockingRun returns a run stub that signals arrival and blocks until
 // released or the request context ends.
 func blockingRun(started chan<- string, release <-chan struct{}) runFunc {
-	return func(ctx context.Context, g *dag.Graph, cluster platform.Cluster, model, algorithm string, seed int64) (*sim.Report, error) {
+	return func(ctx context.Context, g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64, opt sim.Options) (*sim.Report, error) {
 		select {
 		case started <- algorithm:
 		default:
 		}
 		select {
 		case <-release:
-			return sim.RunContext(context.Background(), g, cluster, model, algorithm, seed)
+			return sim.RunTableOpts(context.Background(), g, cluster, tab, algorithm, seed, opt)
 		case <-ctx.Done():
 			return nil, fmt.Errorf("stub: %w", ctx.Err())
 		}

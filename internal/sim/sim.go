@@ -16,6 +16,7 @@ import (
 	"emts/internal/alloc"
 	"emts/internal/core"
 	"emts/internal/dag"
+	"emts/internal/evalpool"
 	"emts/internal/listsched"
 	"emts/internal/model"
 	"emts/internal/onestep"
@@ -117,8 +118,33 @@ func RunTable(g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorith
 	return RunTableContext(context.Background(), g, cluster, tab, algorithm, seed)
 }
 
+// Options tunes how a run executes without changing what it computes: every
+// field affects only resource usage (parallelism, arena reuse, lock
+// striping), and results are bit-identical for any combination — the
+// determinism meta-tests enforce this. The zero value is the historical
+// behavior.
+type Options struct {
+	// Workers bounds EMTS fitness-evaluation parallelism (0 = GOMAXPROCS).
+	// The server's CPU governor sets this per request so one lone request
+	// fans out to all cores while concurrent requests degrade gracefully.
+	Workers int
+	// CacheShards stripes the EMTS fitness memo cache (see
+	// ea.Config.CacheShards); 0 picks a default.
+	CacheShards int
+	// MapperPool, when non-nil, lends listsched.Mapper arenas to the run and
+	// takes them back when it finishes (see core.Params.MapperPool).
+	MapperPool *evalpool.Pool
+}
+
 // RunTableContext is RunTable with cooperative cancellation.
 func RunTableContext(ctx context.Context, g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64) (*Report, error) {
+	return RunTableOpts(ctx, g, cluster, tab, algorithm, seed, Options{})
+}
+
+// RunTableOpts is RunTableContext with execution Options — the entry point
+// the serving path uses to plug in the shared Mapper pool and the CPU
+// governor's per-request worker budget.
+func RunTableOpts(ctx context.Context, g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorithm string, seed int64, opt Options) (*Report, error) {
 	rep := &Report{
 		Algorithm: strings.ToLower(algorithm),
 		Model:     tab.Name(),
@@ -135,6 +161,9 @@ func RunTableContext(ctx context.Context, g *dag.Graph, cluster platform.Cluster
 		if rep.Algorithm == "emts10" {
 			params = core.EMTS10(seed)
 		}
+		params.Workers = opt.Workers
+		params.CacheShards = opt.CacheShards
+		params.MapperPool = opt.MapperPool
 		res, err := core.RunContext(ctx, g, tab, params)
 		if err != nil {
 			return nil, err

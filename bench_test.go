@@ -13,6 +13,7 @@
 package emts_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -556,6 +557,73 @@ func BenchmarkEMTS5InstanceNoFastPath(b *testing.B) {
 		p.DisableDelta = true
 		return p
 	})
+}
+
+// BenchmarkEMTS5InstanceNoBatch is the A/B control for DESIGN.md §13: the
+// headline workload with the structure-of-arrays batch path switched off,
+// falling back to per-individual scalar dispatch.
+func BenchmarkEMTS5InstanceNoBatch(b *testing.B) {
+	emtsInstanceBench(b, func(seed int64) core.Params {
+		p := core.EMTS5(seed)
+		p.UseRejection = true
+		p.DisableBatch = true
+		return p
+	})
+}
+
+// BenchmarkEMTS10InstanceNoBatch is the EMTS10 variant of the batch A/B
+// control.
+func BenchmarkEMTS10InstanceNoBatch(b *testing.B) {
+	emtsInstanceBench(b, func(seed int64) core.Params {
+		p := core.EMTS10(seed)
+		p.UseRejection = true
+		p.DisableBatch = true
+		return p
+	})
+}
+
+// perIndividualBench runs a (10+λ)×5 optimization of the 100-task instance
+// and reports the average evaluation cost per individual, the number the
+// per-individual cost curve of artifacts/BENCH_PR6.json is built from.
+// Evaluations counts every individual (cache-answered ones included), so the
+// metric is the end-to-end cost of putting one more individual through a
+// generation, not just the map-loop time of a cache miss.
+func perIndividualBench(b *testing.B, lambda int, disableBatch bool) {
+	g, tab, _ := benchInstance(b)
+	b.ResetTimer()
+	totalEvals := 0
+	for i := 0; i < b.N; i++ {
+		p := core.EMTS5(1)
+		p.Mu = 10
+		p.Lambda = lambda
+		p.Generations = 5
+		p.UseRejection = true
+		p.DisableBatch = disableBatch
+		res, err := core.Run(g, tab, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvals += res.Evaluations
+	}
+	if totalEvals > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalEvals), "ns/individual")
+	}
+}
+
+// BenchmarkPerIndividual measures the per-individual cost curve at
+// λ ∈ {25, 100, 400}, batch vs scalar dispatch (ROADMAP item 5: the batch
+// path should flatten the curve as λ grows).
+func BenchmarkPerIndividual(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"batch", false}, {"scalar", true}} {
+		for _, lambda := range []int{25, 100, 400} {
+			b.Run(fmt.Sprintf("%s/lambda%d", mode.name, lambda), func(b *testing.B) {
+				perIndividualBench(b, lambda, mode.disable)
+			})
+		}
+	}
 }
 
 // BenchmarkEMTS5InstanceNoCache is the A/B control: the same optimization

@@ -8,10 +8,18 @@
 // one record per benchmark with iterations, ns/op, B/op, allocs/op, and any
 // custom b.ReportMetric pairs (cache_hit_rate, prefilter_reject_rate, ...).
 //
+// With -curve it additionally runs the per-individual cost-curve benchmark
+// (BenchmarkPerIndividual: λ ∈ {25, 100, 400}, batch vs scalar dispatch) and
+// distills the ns/individual metrics into a "curve" section — one point per
+// λ with both dispatch costs and their ratio — so the flattening effect of
+// the structure-of-arrays batch path (ROADMAP item 5) is directly visible in
+// the committed artifact.
+//
 // Usage:
 //
 //	emts-bench -bench 'EMTS5Instance$' -benchtime 1x
 //	emts-bench -bench 'BenchmarkEMTS' -benchtime 2s -out artifacts/BENCH_PR3.json
+//	emts-bench -bench 'EMTS(5|10)Instance(NoBatch)?$' -curve -out artifacts/BENCH_PR6.json
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,26 +42,32 @@ func main() {
 		count     = flag.Int("count", 1, "go test -count value")
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "-", "output file, or - for stdout")
+		curve     = flag.Bool("curve", false, "also run BenchmarkPerIndividual and emit a per-λ batch-vs-scalar cost curve")
+		note      = flag.String("note", "", "free-text annotation recorded in the report (host caveats, run conditions)")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *count, *pkg, *out); err != nil {
+	if err := run(*bench, *benchtime, *count, *pkg, *out, *curve, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime string, count int, pkg, out string) error {
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", bench, "-benchtime", benchtime,
-		"-count", strconv.Itoa(count), "-benchmem", pkg)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		return fmt.Errorf("go test: %w", err)
-	}
-	rep, err := parseBench(strings.NewReader(string(raw)))
+func run(bench, benchtime string, count int, pkg, out string, curve bool, note string) error {
+	rep, err := goBench(bench, benchtime, count, pkg)
 	if err != nil {
 		return err
+	}
+	rep.Note = note
+	if curve {
+		crep, err := goBench("^BenchmarkPerIndividual$", benchtime, count, pkg)
+		if err != nil {
+			return fmt.Errorf("curve run: %w", err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, crep.Benchmarks...)
+		rep.Curve, err = buildCurve(crep.Benchmarks)
+		if err != nil {
+			return err
+		}
 	}
 	var w io.Writer = os.Stdout
 	if out != "-" {
@@ -68,6 +83,19 @@ func run(bench, benchtime string, count int, pkg, out string) error {
 	return enc.Encode(rep)
 }
 
+// goBench runs one `go test -bench` invocation and parses its output.
+func goBench(bench, benchtime string, count int, pkg string) (*Report, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), "-benchmem", pkg)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test: %w", err)
+	}
+	return parseBench(strings.NewReader(string(raw)))
+}
+
 // Report is the JSON document: the benchmark environment plus one record per
 // benchmark line, in output order.
 type Report struct {
@@ -75,7 +103,20 @@ type Report struct {
 	GoArch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Note       string      `json:"note,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Curve is the per-individual cost curve (one point per λ), present only
+	// with -curve.
+	Curve []CurvePoint `json:"curve,omitempty"`
+}
+
+// CurvePoint is one λ of the per-individual cost curve: the amortized cost of
+// evaluating one offspring under scalar and batch dispatch, and their ratio.
+type CurvePoint struct {
+	Lambda           int     `json:"lambda"`
+	ScalarNsPerIndiv float64 `json:"scalar_ns_per_individual"`
+	BatchNsPerIndiv  float64 `json:"batch_ns_per_individual"`
+	ScalarOverBatch  float64 `json:"scalar_over_batch"`
 }
 
 // Benchmark is one parsed benchmark result line.
@@ -88,6 +129,73 @@ type Benchmark struct {
 	// Metrics holds b.ReportMetric pairs keyed by unit, e.g.
 	// "cache_hit_rate" or "prefilter_reject_rate".
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// buildCurve distills BenchmarkPerIndividual sub-benchmark results
+// (BenchmarkPerIndividual/batch/lambda100-8 etc., each reporting an
+// "ns/individual" metric) into one CurvePoint per λ. Both dispatch modes must
+// be present for every λ; a half-measured point is an error, not a silent gap.
+func buildCurve(benchmarks []Benchmark) ([]CurvePoint, error) {
+	type pair struct {
+		scalar, batch       float64
+		hasScalar, hasBatch bool
+	}
+	pairs := map[int]*pair{}
+	var lambdas []int
+	for _, b := range benchmarks {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkPerIndividual/")
+		if !ok {
+			continue
+		}
+		mode, rest, ok := strings.Cut(rest, "/lambda")
+		if !ok {
+			return nil, fmt.Errorf("unrecognized curve benchmark name %q", b.Name)
+		}
+		// Strip the -<procs> suffix go test appends for GOMAXPROCS>1.
+		if i := strings.IndexByte(rest, '-'); i >= 0 {
+			rest = rest[:i]
+		}
+		lambda, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("bad λ in curve benchmark name %q: %w", b.Name, err)
+		}
+		ns, ok := b.Metrics["ns/individual"]
+		if !ok {
+			return nil, fmt.Errorf("curve benchmark %q reported no ns/individual metric", b.Name)
+		}
+		p := pairs[lambda]
+		if p == nil {
+			p = &pair{}
+			pairs[lambda] = p
+			lambdas = append(lambdas, lambda)
+		}
+		switch mode {
+		case "scalar":
+			p.scalar, p.hasScalar = ns, true
+		case "batch":
+			p.batch, p.hasBatch = ns, true
+		default:
+			return nil, fmt.Errorf("unrecognized dispatch mode in curve benchmark name %q", b.Name)
+		}
+	}
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("no BenchmarkPerIndividual results found")
+	}
+	sort.Ints(lambdas)
+	curve := make([]CurvePoint, 0, len(lambdas))
+	for _, l := range lambdas {
+		p := pairs[l]
+		if !p.hasScalar || !p.hasBatch {
+			return nil, fmt.Errorf("λ=%d measured under only one dispatch mode", l)
+		}
+		curve = append(curve, CurvePoint{
+			Lambda:           l,
+			ScalarNsPerIndiv: p.scalar,
+			BatchNsPerIndiv:  p.batch,
+			ScalarOverBatch:  p.scalar / p.batch,
+		})
+	}
+	return curve, nil
 }
 
 // parseBench parses `go test -bench` output. Lines it does not recognize

@@ -82,6 +82,12 @@ type Params struct {
 	// way; A/B switch like DisableCache. Delta evaluation requires the
 	// engine, so DisableCache implies it.
 	DisableDelta bool
+	// DisableBatch turns off structure-of-arrays batch evaluation: each
+	// generation's cache misses are then dispatched to the workers one
+	// individual at a time through scalar Mappers instead of per-worker
+	// chunks over a listsched.BatchMapper (DESIGN.md §13). Results are
+	// bit-identical either way; A/B switch like DisableCache.
+	DisableBatch bool
 	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
 	Workers int
 	// CacheShards stripes the fitness memo cache (see ea.Config.CacheShards).
@@ -211,6 +217,7 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 	// construction (evalEngine.evaluator documents it must precede the worker
 	// goroutines), so checkedOut needs no lock.
 	var checkedOut []*listsched.Mapper
+	var checkedOutBatch []*listsched.BatchMapper
 	newMapper := func() (*listsched.Mapper, error) {
 		if p.MapperPool == nil {
 			return listsched.NewMapper(g, tab)
@@ -222,9 +229,23 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		checkedOut = append(checkedOut, m)
 		return m, nil
 	}
+	newBatchMapper := func() (*listsched.BatchMapper, error) {
+		if p.MapperPool == nil {
+			return listsched.NewBatchMapper(g, tab)
+		}
+		bm, err := p.MapperPool.GetBatch(g, tab)
+		if err != nil {
+			return nil, err
+		}
+		checkedOutBatch = append(checkedOutBatch, bm)
+		return bm, nil
+	}
 	defer func() {
 		for _, m := range checkedOut {
 			p.MapperPool.Put(m)
+		}
+		for _, bm := range checkedOutBatch {
+			p.MapperPool.PutBatch(bm)
 		}
 	}()
 
@@ -314,6 +335,49 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		}
 	}
 
+	// The batch factory hands each EA worker a BatchMapper evaluating its
+	// whole chunk of the generation over structure-of-arrays planes
+	// (DESIGN.md §13). It is independent of the cache switch: with the
+	// cache off every individual reaches the batch; with it on, only misses
+	// do. The ea mirror types are converted into listsched items through a
+	// closure-owned scratch slice, reused across generations.
+	var batchFactory func() ea.BatchEvaluator
+	if !p.DisableBatch {
+		batchOpt := listsched.Options{SkipProcSets: true, DisablePrefilter: p.DisablePrefilter}
+		batchFactory = func() ea.BatchEvaluator {
+			bm, err := newBatchMapper()
+			if err != nil {
+				// Unreachable (sizes were validated above), but a constructor
+				// error must surface: the engine files it on every individual
+				// of the chunk.
+				return func([]ea.BatchItem, float64, []float64, []error) error { return err }
+			}
+			var scratch []listsched.BatchItem
+			return func(items []ea.BatchItem, rejectAbove float64, fitness []float64, errs []error) error {
+				if cap(scratch) < len(items) {
+					scratch = make([]listsched.BatchItem, len(items))
+				}
+				scratch = scratch[:len(items)]
+				for i := range items {
+					scratch[i] = listsched.BatchItem{
+						Alloc:   items[i].Alloc,
+						Parent:  items[i].Parent,
+						Mutated: items[i].Mutated,
+					}
+				}
+				opt := batchOpt
+				opt.RejectAbove = rejectAbove
+				bm.EvalBatch(scratch, opt, fitness, errs)
+				for i := range scratch {
+					if errs[i] != nil {
+						errs[i] = mapErr(errs[i])
+					}
+				}
+				return nil
+			}
+		}
+	}
+
 	cfg := ea.Config{
 		Mu:                    p.Mu,
 		Lambda:                p.Lambda,
@@ -325,6 +389,8 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		Workers:               p.Workers,
 		Seed:                  p.Seed,
 		DeltaEvaluatorFactory: deltaFactory,
+		BatchEvaluatorFactory: batchFactory,
+		DisableBatch:          p.DisableBatch,
 		DisableDelta:          p.DisableDelta,
 		DisableCache:          p.DisableCache,
 		CacheShards:           p.CacheShards,

@@ -63,6 +63,27 @@ type Evaluator func(alloc schedule.Allocation, rejectAbove float64) (float64, er
 // implementations must then fall back to a full evaluation.
 type DeltaEvaluator func(alloc, parent schedule.Allocation, mutated []int, rejectAbove float64) (float64, error)
 
+// BatchItem is one individual of a batch evaluation: the allocation vector
+// plus optional lineage for delta-aware evaluation. It mirrors
+// listsched.BatchItem without importing the package, like the sentinel
+// errors below.
+type BatchItem struct {
+	Alloc   schedule.Allocation
+	Parent  schedule.Allocation
+	Mutated []int
+}
+
+// BatchEvaluator evaluates a whole slice of individuals in one call, writing
+// fitness[i] (on success) or errs[i] (ErrRejected / ErrRejectedPrefilter /
+// other) for every i < len(items); errs entries must be overwritten (nil on
+// success). The returned error reports a batch-level failure (e.g. the
+// evaluator could not be constructed), in which case the per-item outputs
+// are meaningless. Implementations must be bit-identical to evaluating each
+// item through the scalar Evaluator/DeltaEvaluator pair; see
+// listsched.BatchMapper. Like Evaluators, each instance is owned by a single
+// worker goroutine.
+type BatchEvaluator func(items []BatchItem, rejectAbove float64, fitness []float64, errs []error) error
+
 // ErrRejected is returned by an Evaluator that aborted due to rejectAbove.
 // It mirrors listsched.ErrRejected without importing the package.
 var ErrRejected = errors.New("ea: individual rejected by fitness bound")
@@ -304,6 +325,19 @@ type Config struct {
 	// path sees the same arenas (see core.Run's wiring of
 	// listsched.Mapper.MakespanDelta).
 	DeltaEvaluatorFactory func() (Evaluator, DeltaEvaluator)
+	// BatchEvaluatorFactory, when non-nil, supplies one BatchEvaluator per
+	// worker goroutine; unresolved individuals are then dispatched to the
+	// workers in contiguous chunks instead of one channel send per
+	// individual, and each worker evaluates its chunk in a single call over
+	// structure-of-arrays state (listsched.BatchMapper). The memoization and
+	// deduplication pre-pass is unchanged: only cache misses reach a batch.
+	// Results are bit-identical to the scalar factories, which remain wired
+	// as the fallback for DisableBatch.
+	BatchEvaluatorFactory func() BatchEvaluator
+	// DisableBatch ignores BatchEvaluatorFactory, forcing per-individual
+	// scalar dispatch. Results are bit-identical either way — the switch
+	// exists for A/B measurement and regression tests, like DisableCache.
+	DisableBatch bool
 	// DisableDelta ignores DeltaEvaluatorFactory's delta evaluator and
 	// lineage information, forcing full evaluations. Results are
 	// bit-identical either way (the delta sweep is exact) — the switch

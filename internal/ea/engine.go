@@ -42,6 +42,16 @@ type evalEngine struct {
 	shards       []cacheShard // empty when memoization is disabled
 	shardMask    uint64
 
+	// Batch dispatch (DESIGN.md §13): when batchFactory is non-nil, the
+	// unresolved representatives of each generation are split into contiguous
+	// chunks and each worker evaluates its chunk in one BatchEvaluator call
+	// over structure-of-arrays planes instead of one channel round-trip per
+	// individual. batchDelta gates whether lineage is forwarded into the
+	// batch items (DisableDelta).
+	batchFactory func() BatchEvaluator
+	perWBatch    []BatchEvaluator
+	batchDelta   bool
+
 	// Per-batch scratch, sized on first use and reused across generations so
 	// evaluateAll allocates nothing after warm-up (pooled evaluation state).
 	state  []int
@@ -49,6 +59,11 @@ type evalEngine struct {
 	keys   []uint64
 	toEval []int
 	reps   map[uint64][]int
+	// Batch-dispatch scratch: items/fit/batchErrs are indexed like toEval
+	// and sliced disjointly per worker chunk, so chunk writes never overlap.
+	items     []BatchItem
+	fit       []float64
+	batchErrs []error
 }
 
 // cacheShard is one stripe of the memo cache: a bucket map plus the arena
@@ -103,6 +118,10 @@ func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 		} else {
 			eng.deltaFactory = cfg.DeltaEvaluatorFactory
 		}
+	}
+	if cfg.BatchEvaluatorFactory != nil && !cfg.DisableBatch {
+		eng.batchFactory = cfg.BatchEvaluatorFactory
+		eng.batchDelta = !cfg.DisableDelta
 	}
 	if eng.workers <= 0 {
 		eng.workers = runtime.GOMAXPROCS(0)
@@ -221,6 +240,46 @@ func allocsEqual(a, b schedule.Allocation) bool {
 	return true
 }
 
+// batchEvaluator returns the BatchEvaluator owned by worker w, constructing
+// it on first use. Like evaluator, it must be called before the worker
+// goroutines start.
+func (eng *evalEngine) batchEvaluator(w int) BatchEvaluator {
+	for len(eng.perWBatch) <= w {
+		eng.perWBatch = append(eng.perWBatch, eng.batchFactory())
+	}
+	return eng.perWBatch[w]
+}
+
+// fileOutcome records one individual's evaluation outcome at its fixed
+// index: fitness plus memo insert on success, +Inf on rejection, error
+// capture otherwise. Shared by the scalar per-individual path (evalOne) and
+// the batch chunk path (runBatchChunk), so the bookkeeping — and therefore
+// every counter and the duplicate-resolution phase — is identical in all
+// dispatch modes. The two returned flags let batch callers accumulate
+// rejection counts chunk-locally instead of per individual.
+//
+//schedlint:hotpath
+func (eng *evalEngine) fileOutcome(i int, inds []Individual, f float64, err error,
+	firstErr *atomic.Pointer[error]) (wasRejected, wasPrefiltered bool) {
+	switch {
+	case err == nil:
+		inds[i].Fitness = f
+		if eng.cached() {
+			eng.insert(eng.keys[i], inds[i].Alloc, f)
+		}
+	case errors.Is(err, ErrRejected):
+		inds[i].Fitness = math.Inf(1)
+		eng.errs[i] = err
+		wasRejected = true
+		wasPrefiltered = errors.Is(err, ErrRejectedPrefilter)
+	default:
+		eng.errs[i] = err
+		e := err // confine the escape to the error path
+		firstErr.CompareAndSwap(nil, &e)
+	}
+	return wasRejected, wasPrefiltered
+}
+
 // evalOne runs one individual through the worker's evaluator pair and files
 // the outcome at its fixed index. Shared with the sequential fast path, so
 // the bookkeeping is identical in both modes.
@@ -235,24 +294,102 @@ func (eng *evalEngine) evalOne(ev workerEval, i int, inds []Individual, rejectAb
 	} else {
 		f, err = ev.eval(inds[i].Alloc, rejectAbove)
 	}
-	switch {
-	case err == nil:
-		inds[i].Fitness = f
-		if eng.cached() {
-			eng.insert(eng.keys[i], inds[i].Alloc, f)
-		}
-	case errors.Is(err, ErrRejected):
-		inds[i].Fitness = math.Inf(1)
-		eng.errs[i] = err
+	rej, pre := eng.fileOutcome(i, inds, f, err, firstErr)
+	if rej {
 		rejected.Add(1)
-		if errors.Is(err, ErrRejectedPrefilter) {
-			prefiltered.Add(1)
-		}
-	default:
-		eng.errs[i] = err
-		e := err // confine the escape to the error path
-		firstErr.CompareAndSwap(nil, &e)
 	}
+	if pre {
+		prefiltered.Add(1)
+	}
+}
+
+// runBatchChunk evaluates one contiguous chunk of unresolved individuals
+// through a worker-owned BatchEvaluator and files every outcome at its fixed
+// index. idxs maps chunk positions back to individual indices; items, fit,
+// and errs are the chunk's disjoint sub-slices of the engine's batch
+// scratch. Rejection counts accumulate chunk-locally and land in the shared
+// atomics with two adds per chunk instead of two per individual.
+//
+//schedlint:hotpath
+func (eng *evalEngine) runBatchChunk(ev BatchEvaluator, idxs []int, items []BatchItem,
+	fit []float64, errs []error, inds []Individual, rejectAbove float64,
+	rejected, prefiltered *atomic.Int64, firstErr *atomic.Pointer[error]) {
+	if err := ev(items, rejectAbove, fit, errs); err != nil {
+		// Batch-level failure (evaluator construction): every individual of
+		// the chunk inherits it, exactly as if a scalar evaluator had failed.
+		for _, i := range idxs {
+			eng.errs[i] = err
+			e := err
+			firstErr.CompareAndSwap(nil, &e)
+		}
+		return
+	}
+	rej, pre := 0, 0
+	for k, i := range idxs {
+		r, p := eng.fileOutcome(i, inds, fit[k], errs[k], firstErr)
+		if r {
+			rej++
+		}
+		if p {
+			pre++
+		}
+	}
+	rejected.Add(int64(rej))
+	prefiltered.Add(int64(pre))
+}
+
+// evalBatch dispatches the unresolved representatives in toEval through the
+// batch path: the batch scratch is filled with one BatchItem per individual
+// (lineage included unless delta is disabled), split into one contiguous
+// chunk per worker, and each chunk is evaluated by a worker-owned
+// BatchEvaluator. Chunk boundaries are a pure function of len(toEval) and
+// the worker count, so the assignment of individuals to evaluators — and
+// with it every result and counter — is deterministic.
+//
+//schedlint:hotpath
+func (eng *evalEngine) evalBatch(toEval []int, inds []Individual, rejectAbove float64,
+	rejected, prefiltered *atomic.Int64, firstErr *atomic.Pointer[error]) {
+	n := len(toEval)
+	eng.items = growScratch(eng.items, n)
+	eng.fit = growScratch(eng.fit, n)
+	eng.batchErrs = growScratch(eng.batchErrs, n)
+	for k, i := range toEval {
+		it := BatchItem{Alloc: inds[i].Alloc}
+		if eng.batchDelta && inds[i].parent != nil {
+			it.Parent = inds[i].parent
+			it.Mutated = inds[i].mutated
+		}
+		eng.items[k] = it
+	}
+	workers := eng.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		eng.runBatchChunk(eng.batchEvaluator(0), toEval, eng.items, eng.fit, eng.batchErrs,
+			inds, rejectAbove, rejected, prefiltered, firstErr)
+		return
+	}
+	// Construct all evaluators serially before the goroutines start
+	// (batchEvaluator mutates perWBatch).
+	for w := 0; w < workers; w++ {
+		eng.batchEvaluator(w)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		//schedlint:allow hotalloc -- one closure per worker per generation, amortized over the chunk's evaluations
+		go func(ev BatchEvaluator, lo, hi int) {
+			defer wg.Done()
+			eng.runBatchChunk(ev, toEval[lo:hi], eng.items[lo:hi], eng.fit[lo:hi], eng.batchErrs[lo:hi],
+				inds, rejectAbove, rejected, prefiltered, firstErr)
+		}(eng.perWBatch[w], lo, hi)
+	}
+	wg.Wait()
 }
 
 // batchScratch resizes the per-batch arrays for n individuals, reusing the
@@ -359,7 +496,9 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 	// concurrent requests to one worker each.
 	var firstErr atomic.Pointer[error]
 	var prefiltered atomic.Int64
-	if len(toEval) > 0 {
+	if len(toEval) > 0 && eng.batchFactory != nil {
+		eng.evalBatch(toEval, inds, rejectAbove, &rejected, &prefiltered, &firstErr)
+	} else if len(toEval) > 0 {
 		workers := eng.workers
 		if workers > len(toEval) {
 			workers = len(toEval)

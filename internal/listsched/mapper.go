@@ -2,12 +2,30 @@ package listsched
 
 import (
 	"fmt"
-	"sort"
 
 	"emts/internal/dag"
 	"emts/internal/model"
 	"emts/internal/schedule"
 )
+
+// mapState bundles the mutable scratch one map-loop execution consumes: the
+// bottom levels driving the ready-heap priority, the consumable indegree and
+// data-ready-time arrays, per-processor availability with its incrementally
+// maintained (availability, index) order, and the ready heap itself. The
+// scalar Mapper points one mapState at its arenas for the Mapper's lifetime;
+// the BatchMapper assembles a mapState per individual whose per-task slices
+// are rows of its structure-of-arrays planes (batch.go). Both feed the same
+// runMapLoop, so the scalar and batch paths cannot drift apart.
+type mapState struct {
+	bl        []float64
+	indeg     []int
+	readyTime []float64
+	avail     []float64
+	order     []int
+	scratch   []int
+	mark      []bool
+	ready     blHeap
+}
 
 // Mapper is a reusable evaluation engine for the mapping step: it owns every
 // piece of per-call scratch state (bottom-level buffer, indegrees, ready
@@ -31,14 +49,7 @@ type Mapper struct {
 	cur  schedule.Allocation
 	cost dag.CostFunc
 
-	bl        []float64
-	indeg     []int
-	readyTime []float64
-	avail     []float64
-	order     []int
-	scratch   []int
-	mark      []bool
-	ready     blHeap
+	st mapState
 
 	// Delta-evaluation state (DESIGN.md §10, Layer 3). topoPos[v] is v's
 	// index in the graph's topological order and topoOrder is its inverse.
@@ -113,7 +124,7 @@ func (m *Mapper) Release() {
 	m.g = nil
 	m.tab = nil
 	m.cur = nil
-	m.ready.bl = nil
+	m.st.ready.bl = nil
 	for i := range m.baselines {
 		m.baselines[i].key = nil
 	}
@@ -122,7 +133,7 @@ func (m *Mapper) Release() {
 // Shape reports the (task count, processor count) the Mapper's arenas are
 // sized for. It remains valid after Release, which is what lets a pool file a
 // released Mapper under its shape without holding the graph alive.
-func (m *Mapper) Shape() (tasks, procs int) { return len(m.bl), m.procs }
+func (m *Mapper) Shape() (tasks, procs int) { return len(m.st.bl), m.procs }
 
 // grow returns s resized to length n, reallocating only when the capacity is
 // insufficient. Reused elements keep their old values; callers that need a
@@ -147,21 +158,21 @@ func (m *Mapper) bind(g *dag.Graph, tab *model.Table) error {
 	}
 	m.g, m.tab, m.procs = g, tab, tab.Procs()
 	n := g.NumTasks()
-	m.bl = grow(m.bl, n)
-	m.indeg = grow(m.indeg, n)
-	m.readyTime = grow(m.readyTime, n)
-	m.avail = grow(m.avail, m.procs)
-	m.order = grow(m.order, m.procs)
-	m.scratch = grow(m.scratch, m.procs)
-	m.mark = grow(m.mark, m.procs)
-	for i := range m.mark {
-		m.mark[i] = false
+	m.st.bl = grow(m.st.bl, n)
+	m.st.indeg = grow(m.st.indeg, n)
+	m.st.readyTime = grow(m.st.readyTime, n)
+	m.st.avail = grow(m.st.avail, m.procs)
+	m.st.order = grow(m.st.order, m.procs)
+	m.st.scratch = grow(m.st.scratch, m.procs)
+	m.st.mark = grow(m.st.mark, m.procs)
+	for i := range m.st.mark {
+		m.st.mark[i] = false
 	}
-	if cap(m.ready.items) < n {
-		m.ready.items = make([]dag.TaskID, 0, n)
+	if cap(m.st.ready.items) < n {
+		m.st.ready.items = make([]dag.TaskID, 0, n)
 	}
-	m.ready.items = m.ready.items[:0]
-	m.ready.bl = nil
+	m.st.ready.items = m.st.ready.items[:0]
+	m.st.ready.bl = nil
 	m.topoOrder = order
 	m.topoPos = grow(m.topoPos, n)
 	for i, v := range order {
@@ -187,7 +198,7 @@ func (m *Mapper) bind(g *dag.Graph, tab *model.Table) error {
 //
 //schedlint:hotpath
 func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
-	return m.mapLoop(alloc, Options{SkipProcSets: true}, nil)
+	return m.mapLoop(alloc, Options{SkipProcSets: true}, nil, nil)
 }
 
 // MakespanBounded is Makespan with the rejection strategy of Section VI: it
@@ -198,7 +209,7 @@ func (m *Mapper) Makespan(alloc schedule.Allocation) (float64, error) {
 //
 //schedlint:hotpath
 func (m *Mapper) MakespanBounded(alloc schedule.Allocation, rejectAbove float64) (float64, error) {
-	return m.mapLoop(alloc, Options{SkipProcSets: true, RejectAbove: rejectAbove}, nil)
+	return m.mapLoop(alloc, Options{SkipProcSets: true, RejectAbove: rejectAbove}, nil, nil)
 }
 
 // MakespanOpts is Makespan with full Options control (rejection bound,
@@ -207,7 +218,7 @@ func (m *Mapper) MakespanBounded(alloc schedule.Allocation, rejectAbove float64)
 //schedlint:hotpath
 func (m *Mapper) MakespanOpts(alloc schedule.Allocation, opt Options) (float64, error) {
 	opt.SkipProcSets = true
-	return m.mapLoop(alloc, opt, nil)
+	return m.mapLoop(alloc, opt, nil, nil)
 }
 
 // MakespanDelta is MakespanOpts for an offspring whose allocation differs
@@ -231,7 +242,7 @@ func (m *Mapper) MakespanDelta(alloc, parent schedule.Allocation, mutated []int,
 	opt.SkipProcSets = true
 	n := m.g.NumTasks()
 	if parent == nil || len(parent) != len(alloc) || len(alloc) != n || len(mutated) == 0 {
-		return m.mapLoop(alloc, opt, nil)
+		return m.mapLoop(alloc, opt, nil, nil)
 	}
 	// The delta sweep only wins while the affected region is small: every
 	// changed task also scans its predecessor list to flag ancestors, so once
@@ -240,7 +251,7 @@ func (m *Mapper) MakespanDelta(alloc, parent schedule.Allocation, mutated []int,
 	// broad steps fall through to the full sweep and later refinement steps
 	// take the delta path. Both paths are bit-identical by construction.
 	if len(mutated)*deltaMutatedDenom > n {
-		return m.mapLoop(alloc, opt, nil)
+		return m.mapLoop(alloc, opt, nil, nil)
 	}
 	if err := alloc.Validate(m.g, m.procs); err != nil {
 		return 0, err
@@ -249,37 +260,47 @@ func (m *Mapper) MakespanDelta(alloc, parent schedule.Allocation, mutated []int,
 	if err != nil {
 		return 0, err
 	}
-	bl := m.bl[:n]
+	bl := m.st.bl[:n]
 	copy(bl, base)
 
-	// Recompute affected bottom levels: flag the mutated tasks dirty, then
-	// walk the topological order backwards from the highest flagged position
-	// so successors are final before their predecessors, and stop propagating
-	// wherever the recomputed value is bitwise unchanged. pending counts
-	// outstanding dirty tasks (predecessors always sit at lower positions, so
-	// none can be missed) and lets the walk exit as soon as the last one is
-	// resolved.
-	g := m.g
 	m.cur = alloc
+	deltaBottomLevels(m.g, m.tab, alloc, bl, m.topoOrder, m.topoPos, m.inq, mutated)
+	m.cur = nil
+	return m.run(alloc, opt, nil, nil)
+}
+
+// deltaBottomLevels recomputes the affected bottom levels of bl in place
+// after the positions in mutated changed alloc: it flags the mutated tasks
+// dirty, then walks the topological order backwards from the highest flagged
+// position so successors are final before their predecessors, and stops
+// propagating wherever the recomputed value is bitwise unchanged. pending
+// counts outstanding dirty tasks (predecessors always sit at lower positions,
+// so none can be missed) and lets the walk exit as soon as the last one is
+// resolved. inq must be all-false on entry; it is restored to all-false on
+// return. Shared by the scalar MakespanDelta and the batch lineage rows
+// (BatchMapper), so both produce the exact same bits.
+//
+//schedlint:hotpath
+func deltaBottomLevels(g *dag.Graph, tab *model.Table, alloc schedule.Allocation, bl []float64,
+	topoOrder []dag.TaskID, topoPos []int32, inq []bool, mutated []int) {
 	pending := 0
 	maxPos := int32(-1)
 	for _, p := range mutated {
 		v := dag.TaskID(p)
-		if !m.inq[v] {
-			m.inq[v] = true
+		if !inq[v] {
+			inq[v] = true
 			pending++
-			if m.topoPos[v] > maxPos {
-				maxPos = m.topoPos[v]
+			if topoPos[v] > maxPos {
+				maxPos = topoPos[v]
 			}
 		}
 	}
-	order := m.topoOrder
 	for pos := maxPos; pos >= 0 && pending > 0; pos-- {
-		v := order[pos]
-		if !m.inq[v] {
+		v := topoOrder[pos]
+		if !inq[v] {
 			continue
 		}
-		m.inq[v] = false
+		inq[v] = false
 		pending--
 		maxSucc := 0.0
 		for _, s := range g.Successors(v) {
@@ -287,21 +308,19 @@ func (m *Mapper) MakespanDelta(alloc, parent schedule.Allocation, mutated []int,
 				maxSucc = bl[s]
 			}
 		}
-		nb := m.cost(v) + maxSucc
+		nb := tab.Time(v, alloc[v]) + maxSucc
 		//schedlint:allow floateq -- bitwise change detection: propagation stops exactly when the recomputed value equals the stored one, which keeps the delta sweep bit-identical to a full sweep
 		if nb == bl[v] {
 			continue
 		}
 		bl[v] = nb
 		for _, q := range g.Predecessors(v) {
-			if !m.inq[q] {
-				m.inq[q] = true
+			if !inq[q] {
+				inq[q] = true
 				pending++
 			}
 		}
 	}
-	m.cur = nil
-	return m.run(alloc, opt, nil)
 }
 
 // baseline returns the cached bottom-level row for parent, computing and
@@ -335,10 +354,19 @@ func (m *Mapper) Map(alloc schedule.Allocation) (*schedule.Schedule, error) {
 
 // MapWithOptions builds the schedule for the given allocation. The returned
 // schedule is freshly allocated and independent of the Mapper's scratch
-// state.
+// state: the entry array plus, unless SkipProcSets is set, one processor-ID
+// arena shared by all entries' Procs slices (one allocation per Map instead
+// of one per task).
 func (m *Mapper) MapWithOptions(alloc schedule.Allocation, opt Options) (*schedule.Schedule, error) {
+	if err := alloc.Validate(m.g, m.procs); err != nil {
+		return nil, err
+	}
 	entries := make([]schedule.Entry, m.g.NumTasks())
-	if _, err := m.mapLoop(alloc, opt, entries); err != nil {
+	var procArena []int
+	if !opt.SkipProcSets {
+		procArena = make([]int, 0, alloc.TotalProcs())
+	}
+	if _, err := m.mapLoop(alloc, opt, entries, procArena); err != nil {
 		return nil, err
 	}
 	return &schedule.Schedule{Graph: m.g.Name(), Procs: m.procs, Entries: entries}, nil
@@ -356,41 +384,57 @@ func (m *Mapper) MapWithOptions(alloc schedule.Allocation, opt Options) (*schedu
 // only the makespan is tracked (the fitness path).
 //
 //schedlint:hotpath
-func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
+func (m *Mapper) mapLoop(alloc schedule.Allocation, opt Options, entries []schedule.Entry, procArena []int) (float64, error) {
 	g := m.g
 	if err := alloc.Validate(g, m.procs); err != nil {
 		return 0, err
 	}
 
 	m.cur = alloc
-	bl := g.BottomLevelsInto(m.cost, m.bl)
-	m.bl = bl
+	bl := g.BottomLevelsInto(m.cost, m.st.bl)
+	m.st.bl = bl
 	m.cur = nil // cost is not consulted past this point; drop the reference
 
-	return m.run(alloc, opt, entries)
+	return m.run(alloc, opt, entries, procArena)
 }
 
-// run is the map loop proper. It assumes alloc has been validated and m.bl
+// run is the map loop proper. It assumes alloc has been validated and m.st.bl
 // holds the bottom levels for alloc (either from a full sweep or a delta
 // update — both produce identical bits).
 //
 //schedlint:hotpath
-func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.Entry) (float64, error) {
-	g, tab := m.g, m.tab
-	n := g.NumTasks()
-	bl := m.bl[:n]
+func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.Entry, procArena []int) (float64, error) {
+	return runMapLoop(m.g, m.tab, m.procs, alloc, &m.st, opt, entries, procArena)
+}
 
-	if opt.RejectAbove > 0 && !opt.DisablePrefilter && m.prefilterReject(alloc, bl, opt.RejectAbove) {
+// runMapLoop executes the map loop over the scratch bundled in st. It assumes
+// alloc has been validated and st.bl holds the bottom levels for alloc. Both
+// the scalar Mapper (st = its arenas) and the BatchMapper (st = one row of
+// its SoA planes) call it, which is what keeps the two paths bit-identical
+// by construction.
+//
+// When entries is non-nil, one Entry per task is recorded there. procArena,
+// consulted only when processor sets are recorded, must have capacity for
+// alloc.TotalProcs() entries; each task's Procs is carved from it, so a full
+// Map costs one arena allocation instead of one per task.
+//
+//schedlint:hotpath
+func runMapLoop(g *dag.Graph, tab *model.Table, procs int, alloc schedule.Allocation,
+	st *mapState, opt Options, entries []schedule.Entry, procArena []int) (float64, error) {
+	n := g.NumTasks()
+	bl := st.bl[:n]
+
+	if opt.RejectAbove > 0 && !opt.DisablePrefilter && prefilterReject(tab, procs, alloc, bl, opt.RejectAbove) {
 		return 0, ErrRejectedPrefilter
 	}
-	indeg := m.indeg[:n]
+	indeg := st.indeg[:n]
 	copy(indeg, g.Indegrees())
-	readyTime := m.readyTime[:n]
+	readyTime := st.readyTime[:n]
 	for i := range readyTime {
 		readyTime[i] = 0
 	}
 
-	ready := &m.ready
+	ready := &st.ready
 	ready.bl = bl
 	ready.items = ready.items[:0]
 	for i := 0; i < n; i++ {
@@ -399,7 +443,7 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 		}
 	}
 
-	avail := m.avail[:m.procs]
+	avail := st.avail[:procs]
 	for i := range avail {
 		avail[i] = 0
 	}
@@ -407,12 +451,14 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 	// maintained incrementally: scheduling a task rewrites the first s
 	// entries with one shared availability time, so a single merge pass
 	// restores sortedness in O(P) instead of re-sorting.
-	order := m.order[:m.procs]
+	order := st.order[:procs]
 	for i := range order {
 		order[i] = i
 	}
-	scratch := m.scratch[:m.procs]
-	mark := m.mark[:m.procs]
+	scratch := st.scratch[:procs]
+	mark := st.mark[:procs]
+	recordProcs := entries != nil && !opt.SkipProcSets
+	arenaUsed := 0
 	placed := 0
 	makespan := 0.0
 
@@ -439,13 +485,7 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 		}
 
 		if entries != nil {
-			e := schedule.Entry{Task: v, Start: start, End: end}
-			if !opt.SkipProcSets {
-				e.Procs = make([]int, s)
-				copy(e.Procs, chosen)
-				sort.Ints(e.Procs)
-			}
-			entries[v] = e
+			entries[v] = schedule.Entry{Task: v, Start: start, End: end}
 		}
 		placed++
 
@@ -453,6 +493,16 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 			avail[p] = end
 			mark[p] = true
 		}
+		// The chosen processors, in ascending index order, fall out of the
+		// mark-bitmap scan below for free; carve the entry's Procs from the
+		// arena and fill it as the scan visits them — no sort, no per-task
+		// allocation.
+		var procsOut []int
+		if recordProcs {
+			procsOut = procArena[arenaUsed : arenaUsed+s : arenaUsed+s]
+			arenaUsed += s
+		}
+		emitted := 0
 		// Restore order: the updated processors all share avail == end, so
 		// among themselves they order by index — which the mark bitmap
 		// yields directly with an ascending scan, no sort — and one merge
@@ -470,6 +520,10 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 			if avail[p] < avail[r] || (avail[p] == avail[r] && p < r) {
 				merged = append(merged, p)
 				mark[p] = false
+				if recordProcs {
+					procsOut[emitted] = p
+					emitted++
+				}
 				p++
 				remaining--
 			} else {
@@ -483,11 +537,18 @@ func (m *Mapper) run(alloc schedule.Allocation, opt Options, entries []schedule.
 			}
 			merged = append(merged, p)
 			mark[p] = false
+			if recordProcs {
+				procsOut[emitted] = p
+				emitted++
+			}
 			p++
 			remaining--
 		}
 		merged = append(merged, rest[j:]...)
 		copy(order, merged)
+		if recordProcs {
+			entries[v].Procs = procsOut
+		}
 
 		for _, w := range g.Successors(v) {
 			if end > readyTime[w] {
@@ -531,10 +592,12 @@ const areaSlack = 1e-9
 //
 // Both are true lower bounds, so a prefilter rejection implies the in-loop
 // check would have rejected as well: results with the prefilter on and off
-// are bit-identical.
+// are bit-identical. The BatchMapper runs the same two bounds as a sweep
+// over all rows of its bottom-level plane before mapping any of them
+// (batch.go), with identical float semantics.
 //
 //schedlint:hotpath
-func (m *Mapper) prefilterReject(alloc schedule.Allocation, bl []float64, bound float64) bool {
+func prefilterReject(tab *model.Table, procs int, alloc schedule.Allocation, bl []float64, bound float64) bool {
 	maxBL := 0.0
 	for _, b := range bl {
 		if b > maxBL {
@@ -545,11 +608,10 @@ func (m *Mapper) prefilterReject(alloc schedule.Allocation, bl []float64, bound 
 		return true
 	}
 	area := 0.0
-	tab := m.tab
 	for v, s := range alloc {
 		area += float64(s) * tab.Time(dag.TaskID(v), s)
 	}
-	return area > bound*float64(m.procs)*(1+areaSlack)
+	return area > bound*float64(procs)*(1+areaSlack)
 }
 
 // blHeap is a max-heap of ready tasks ordered by bottom level (largest

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -56,6 +57,7 @@ func run(args []string) int {
 	confPath := fs.String("c", "", "path to .schedlint.conf (default: auto-discover at the module root)")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.String("json", "", "write findings as a JSON array to the named file ('-' for stdout)")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: schedlint [flags] [packages | vet-config.cfg]\n")
 		fs.PrintDefaults()
@@ -96,7 +98,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
 	}
-	findings, err := driver.Run(pkgs, analyzers, cfg)
+	findings, err := driver.Run(pkgs, analyzers, cfg, lint.Names())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
@@ -104,10 +106,49 @@ func run(args []string) int {
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			return 1
+		}
+	}
 	if len(findings) > 0 {
 		return 2
 	}
 	return 0
+}
+
+// jsonFinding is the machine-readable record emitted by -json, one per
+// finding. The CI workflow uploads the array as a build artifact.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(dest string, findings []driver.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Message:  f.Message,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if dest == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(dest, data, 0o666)
 }
 
 // selfID returns a content hash of the running binary, for the -V=full

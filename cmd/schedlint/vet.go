@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"os"
 
+	"emts/internal/lint"
 	"emts/internal/lint/analysis"
 	"emts/internal/lint/driver"
 )
@@ -76,7 +77,7 @@ func runVet(cfgPath string, analyzers []*analysis.Analyzer, confPath string) int
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1
 	}
-	findings, err := driver.Run([]*driver.Package{pkg}, analyzers, conf)
+	findings, err := driver.Run([]*driver.Package{pkg}, analyzers, conf, lint.Names())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
 		return 1

@@ -410,9 +410,11 @@ func (g *Graph) BottomLevels(cost CostFunc) []float64 {
 func (g *Graph) BottomLevelsInto(cost CostFunc, dst []float64) []float64 {
 	n := len(g.tasks)
 	if cap(dst) < n {
+		//schedlint:allow hotescape -- grow-on-demand: allocates only when the caller's buffer is too small, never on the steady state
 		dst = make([]float64, n)
 	}
 	bl := dst[:n]
+	//schedlint:allow hotescape -- topoOrder returns the order cached at Build time; the non-inlined call is one indirect load, no allocation
 	order := g.topoOrder()
 	// Walk the CSR arrays directly: the reverse-topological sweep touches
 	// every successor list once, and indexing succAdj through succOff keeps

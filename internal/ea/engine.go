@@ -205,6 +205,7 @@ func (eng *evalEngine) insert(key uint64, a schedule.Allocation, f float64) {
 		if chunk < n {
 			chunk = n
 		}
+		//schedlint:allow hotescape -- amortized arena chunk: one allocation per arenaChunkAllocs cache inserts
 		s.arena = make([]int, 0, chunk)
 	}
 	off := len(s.arena)
@@ -274,7 +275,8 @@ func (eng *evalEngine) fileOutcome(i int, inds []Individual, f float64, err erro
 		wasPrefiltered = errors.Is(err, ErrRejectedPrefilter)
 	default:
 		eng.errs[i] = err
-		e := err // confine the escape to the error path
+		//schedlint:allow hotescape -- the copy deliberately confines the heap move to this cold error branch
+		e := err
 		firstErr.CompareAndSwap(nil, &e)
 	}
 	return wasRejected, wasPrefiltered
@@ -319,6 +321,7 @@ func (eng *evalEngine) runBatchChunk(ev BatchEvaluator, idxs []int, items []Batc
 		// the chunk inherits it, exactly as if a scalar evaluator had failed.
 		for _, i := range idxs {
 			eng.errs[i] = err
+			//schedlint:allow hotescape -- the copy deliberately confines the heap move to this cold error branch
 			e := err
 			firstErr.CompareAndSwap(nil, &e)
 		}
@@ -375,6 +378,7 @@ func (eng *evalEngine) evalBatch(toEval []int, inds []Individual, rejectAbove fl
 	for w := 0; w < workers; w++ {
 		eng.batchEvaluator(w)
 	}
+	//schedlint:allow hotescape -- wg is captured by the per-worker closures; one heap move per generation, amortized over the batch
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := w*n/workers, (w+1)*n/workers
@@ -382,7 +386,7 @@ func (eng *evalEngine) evalBatch(toEval []int, inds []Individual, rejectAbove fl
 			continue
 		}
 		wg.Add(1)
-		//schedlint:allow hotalloc -- one closure per worker per generation, amortized over the chunk's evaluations
+		//schedlint:allow hotalloc,hotescape -- one closure per worker per generation, amortized over the chunk's evaluations
 		go func(ev BatchEvaluator, lo, hi int) {
 			defer wg.Done()
 			eng.runBatchChunk(ev, toEval[lo:hi], eng.items[lo:hi], eng.fit[lo:hi], eng.batchErrs[lo:hi],
@@ -401,6 +405,7 @@ func (eng *evalEngine) batchScratch(n int) {
 	eng.errs = growScratch(eng.errs, n)
 	eng.keys = growScratch(eng.keys, n)
 	if cap(eng.toEval) < n {
+		//schedlint:allow hotescape -- amortized arena growth: reallocates only when the population outgrows the retained capacity
 		eng.toEval = make([]int, 0, n)
 	}
 	eng.toEval = eng.toEval[:0]
@@ -408,6 +413,7 @@ func (eng *evalEngine) batchScratch(n int) {
 		eng.errs[i] = nil
 	}
 	if eng.reps == nil {
+		//schedlint:allow hotescape -- lazy one-time init: the map is built on the first batch and cleared, not reallocated, afterwards
 		eng.reps = make(map[uint64][]int, n)
 	} else {
 		clear(eng.reps)
@@ -448,6 +454,7 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 	state := eng.state
 	toEval := eng.toEval
 
+	//schedlint:allow hotescape -- rejected is captured by the per-worker closures; one heap move per generation
 	var rejected atomic.Int64
 	if eng.cached() {
 		for i := range inds {
@@ -494,7 +501,9 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 	// single worker the batch is evaluated inline — no goroutine, no channel
 	// — which is the saturated-server regime once the CPU governor degrades
 	// concurrent requests to one worker each.
+	//schedlint:allow hotescape -- firstErr is captured by the per-worker closures; one heap move per generation
 	var firstErr atomic.Pointer[error]
+	//schedlint:allow hotescape -- prefiltered is captured by the per-worker closures; one heap move per generation
 	var prefiltered atomic.Int64
 	if len(toEval) > 0 && eng.batchFactory != nil {
 		eng.evalBatch(toEval, inds, rejectAbove, &rejected, &prefiltered, &firstErr)
@@ -504,16 +513,18 @@ func (eng *evalEngine) evaluateAll(inds []Individual, rejectAbove float64, res *
 			workers = len(toEval)
 		}
 		if workers == 1 {
+			//schedlint:allow hotescape -- evaluator is per-worker setup, called once per batch; its lazy construction never inlines
 			ev := eng.evaluator(0)
 			for _, i := range toEval {
 				eng.evalOne(ev, i, inds, rejectAbove, &rejected, &prefiltered, &firstErr)
 			}
 		} else {
+			//schedlint:allow hotescape -- wg is captured by the per-worker closures; one heap move per generation
 			var wg sync.WaitGroup
 			next := make(chan int)
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
-				//schedlint:allow hotalloc -- one closure per worker per batch, amortized over the whole generation's evaluations
+				//schedlint:allow hotalloc,hotescape -- one closure per worker per batch, amortized over the whole generation's evaluations
 				go func(ev workerEval) {
 					defer wg.Done()
 					for i := range next {

@@ -129,6 +129,7 @@ func (p *Pool) Put(m *listsched.Mapper) {
 	p.mu.Lock()
 	b := p.shapes[k]
 	if b == nil {
+		//schedlint:allow hotescape -- cold first-sight-of-shape path: one bucket per (tasks, procs) shape for the pool's lifetime
 		b = &bucket{key: k, mappers: make([]*listsched.Mapper, 0, p.maxPerShape)}
 		p.shapes[k] = b
 		p.pushFront(b)
@@ -191,6 +192,7 @@ func (p *Pool) PutBatch(bm *listsched.BatchMapper) {
 	p.mu.Lock()
 	b := p.shapes[k]
 	if b == nil {
+		//schedlint:allow hotescape -- cold first-sight-of-shape path: one bucket per (tasks, procs) shape for the pool's lifetime
 		b = &bucket{key: k, mappers: make([]*listsched.Mapper, 0, p.maxPerShape)}
 		p.shapes[k] = b
 		p.pushFront(b)

@@ -87,18 +87,37 @@ func NewGraphs(capacity int) *Graphs {
 // interning on first sight. The second result reports whether the entry was
 // already interned. Decode failures are returned verbatim (and never cached):
 // the caller's validation taxonomy is unchanged.
+//
+// The warm path is lookup — a hash, one mutex hold, one map probe — and is
+// kept in its own hotpath-annotated function so schedlint verifies it stays
+// allocation-free; intern is the cold decode-and-insert path.
 func (c *Graphs) Get(raw []byte) (*GraphEntry, bool, error) {
 	key := sha256.Sum256(raw)
+	if entry, ok := c.lookup(key); ok {
+		return entry, true, nil
+	}
+	return c.intern(key, raw)
+}
+
+// lookup probes the cache for key, refreshing the entry's LRU position on a
+// hit. This is the entire warm serving path of a repeat-structure request.
+//
+//schedlint:hotpath
+func (c *Graphs) lookup(key [sha256.Size]byte) (*GraphEntry, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return el.Value.(*graphItem).entry, true, nil
+		return el.Value.(*graphItem).entry, true
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
+	return nil, false
+}
 
+// intern decodes, canonicalizes, and inserts a first-sighted graph.
+func (c *Graphs) intern(key [sha256.Size]byte, raw []byte) (*GraphEntry, bool, error) {
 	// Decode and canonicalize outside the lock: this is the expensive part,
 	// and concurrent first sightings of the same graph merely race to insert
 	// equivalent entries — the re-check below keeps one.
@@ -187,21 +206,39 @@ func NewTables(capacity int) *Tables {
 
 // Get returns the interned table for key, calling build to construct it on
 // first sight. The second result reports whether the table was already
-// interned. Build failures are returned verbatim and never cached.
+// interned. Build failures are returned verbatim and never cached. As with
+// Graphs.Get, the warm path lives in the hotpath-annotated lookup.
 func (c *Tables) Get(key TableKey, build func() (*model.Table, error)) (*model.Table, bool, error) {
+	if tab, ok := c.lookup(key); ok {
+		return tab, true, nil
+	}
+
+	tab, err := c.build(key, build)
+	return tab, false, err
+}
+
+// lookup probes the cache for key, refreshing the entry's LRU position on a
+// hit. A hit skips the V×P model evaluation entirely.
+//
+//schedlint:hotpath
+func (c *Tables) lookup(key TableKey) (*model.Table, bool) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return el.Value.(*tableItem).tab, true, nil
+		return el.Value.(*tableItem).tab, true
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
+	return nil, false
+}
 
+// build constructs and inserts a first-sighted table.
+func (c *Tables) build(key TableKey, build func() (*model.Table, error)) (*model.Table, error) {
 	tab, err := build()
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 
 	c.mu.Lock()
@@ -217,7 +254,7 @@ func (c *Tables) Get(key TableKey, build func() (*model.Table, error)) (*model.T
 		}
 	}
 	c.mu.Unlock()
-	return tab, false, nil
+	return tab, nil
 }
 
 // Stats reports lookup hits and misses since construction.

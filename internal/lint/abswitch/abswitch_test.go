@@ -1,0 +1,21 @@
+package abswitch_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/abswitch"
+	"emts/internal/lint/analysistest"
+)
+
+func TestABSwitch(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), abswitch.Analyzer,
+		analysistest.Options{Settings: map[string]string{"abswitch.index-root": "."}}, "a")
+}
+
+func TestABSwitchAllowDirectives(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), abswitch.Analyzer,
+		analysistest.Options{
+			Filtered: true,
+			Settings: map[string]string{"abswitch.index-root": "."},
+		}, "allow")
+}

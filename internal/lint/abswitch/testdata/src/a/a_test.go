@@ -1,0 +1,21 @@
+package a
+
+import "testing"
+
+var identityCases = []Config{{DisableVar: true}}
+
+func determConfigs() []Config {
+	return []Config{{DisableHelper: true}}
+}
+
+func TestBitIdenticalSwitches(t *testing.T) {
+	c := Config{DisableCache: true}
+	_ = c
+	_ = identityCases
+	_ = determConfigs()
+}
+
+func TestOther(t *testing.T) {
+	c := Config{DisableWrongTest: true}
+	_ = c
+}

@@ -1,0 +1,10 @@
+// Fixture for abswitch //schedlint:allow handling (filtered mode). No test
+// files exist under the pinned index root, so both switches are uncovered;
+// only the sanctioned one is suppressed.
+package allow
+
+type Flags struct {
+	//schedlint:allow abswitch -- fixture: switch lands with its determinism test in the next change
+	DisableSanctioned bool
+	DisableNaked      bool // want `A/B switch Flags\.DisableNaked is not referenced by any determinism test`
+}

@@ -26,6 +26,11 @@ type Analyzer struct {
 	// pass.Report. The returned value is ignored by the schedlint driver (it
 	// exists for x/tools API compatibility, where analyzers export facts).
 	Run func(*Pass) (interface{}, error)
+	// NeedsGCDiags asks the driver to populate Pass.GCDiags with compiler
+	// escape/inline diagnostics (`go build -gcflags=-m`) before Run. Only
+	// analyzers that consume compiler facts (hotescape) set it; the build is
+	// skipped entirely when no selected analyzer needs it.
+	NeedsGCDiags bool
 }
 
 // Pass is the interface between the driver and one Analyzer.Run application:
@@ -37,6 +42,58 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Dir is the package's source directory (empty when unknown). Analyzers
+	// that consult sources beyond the package — abswitch's module-wide test
+	// index — anchor their lookups here.
+	Dir string
+	// GCDiags holds the compiler's -m diagnostics for this package, populated
+	// by the driver when Analyzer.NeedsGCDiags is set (see package gcdiag).
+	GCDiags []GCDiag
+	// Settings carries the `set <key> <value>` directives of .schedlint.conf
+	// (nil when no conf is loaded). Analyzers read tuning knobs — inline
+	// budgets, sanctioned grow helpers — through Setting.
+	Settings map[string]string
+}
+
+// GCDiag is one compiler diagnostic from `go build -gcflags=-m`: a position
+// plus the raw message ("moved to heap: x", "inlining call to f", ...).
+type GCDiag struct {
+	File      string // absolute path
+	Line, Col int
+	Message   string
+}
+
+// Setting returns the configured value for key, or def when unset.
+func (p *Pass) Setting(key, def string) string {
+	if v, ok := p.Settings[key]; ok {
+		return v
+	}
+	return def
+}
+
+// PosFor maps a (file, line, col) triple — e.g. a compiler diagnostic
+// position — to a token.Pos inside the pass's file set, or token.NoPos if the
+// file is not part of the pass.
+func (p *Pass) PosFor(file string, line, col int) token.Pos {
+	for i, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil || tf.Name() != file {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return p.Files[i].Pos()
+		}
+		pos := tf.LineStart(line)
+		if col > 1 {
+			pos += token.Pos(col - 1)
+		}
+		if end := token.Pos(tf.Base() + tf.Size()); pos > end {
+			pos = end
+		}
+		return pos
+	}
+	return token.NoPos
 }
 
 // Diagnostic is one finding, anchored to a position.

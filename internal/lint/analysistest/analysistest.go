@@ -25,7 +25,9 @@ import (
 	"testing"
 
 	"emts/internal/lint/analysis"
+	"emts/internal/lint/config"
 	"emts/internal/lint/driver"
+	"emts/internal/lint/gcdiag"
 )
 
 // TestData returns the absolute path of the caller package's testdata
@@ -38,17 +40,38 @@ func TestData() string {
 	return dir
 }
 
+// Options adjusts a fixture run beyond the defaults.
+type Options struct {
+	// Settings populates Pass.Settings, standing in for the `set` directives
+	// of .schedlint.conf.
+	Settings map[string]string
+	// Filtered applies the inline `//schedlint:allow` directives the way the
+	// real driver does — suppressed diagnostics disappear, and malformed or
+	// unknown-analyzer directives surface as diagnostics of the pseudo-
+	// analyzer "schedlint" (matchable by want comments).
+	Filtered bool
+	// Known lists the analyzer names inline directives may reference when
+	// Filtered is set; defaults to just the analyzer under test.
+	Known []string
+}
+
 // Run applies the analyzer to each fixture package under dir/src and reports
 // every mismatch between actual diagnostics and want comments as a test
 // error.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunWith(t, dir, a, Options{}, pkgs...)
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(t *testing.T, dir string, a *analysis.Analyzer, opts Options, pkgs ...string) {
+	t.Helper()
 	for _, pkg := range pkgs {
-		runPackage(t, filepath.Join(dir, "src", pkg), pkg, a)
+		runPackage(t, filepath.Join(dir, "src", pkg), pkg, a, opts)
 	}
 }
 
-func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer, opts Options) {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -76,17 +99,68 @@ func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
 		line int
 	}
 	got := make(map[key][]string)
+	record := func(analyzer string, pos token.Position, msg string) {
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		got[k] = append(got[k], msg)
+	}
+
+	var sup map[string]*config.Suppressions
+	if opts.Filtered {
+		known := opts.Known
+		if known == nil {
+			known = []string{a.Name}
+		}
+		knownSet := map[string]bool{"schedlint": true}
+		for _, n := range known {
+			knownSet[n] = true
+		}
+		sup = make(map[string]*config.Suppressions, len(pkg.Syntax))
+		for i, f := range pkg.Syntax {
+			s := config.CollectSuppressions(fset, f)
+			sup[filepath.Base(pkg.Files[i])] = s
+			for _, p := range s.Malformed() {
+				record("schedlint", fset.Position(p), "malformed //schedlint:allow directive: want `//schedlint:allow <analyzer>[,...] -- <reason>`")
+			}
+			for _, d := range s.Directives() {
+				for _, n := range d.Names {
+					if !knownSet[n] {
+						record("schedlint", fset.Position(d.Pos), fmt.Sprintf("//schedlint:allow names unknown analyzer %q", n))
+					}
+				}
+			}
+		}
+	}
+
 	pass := &analysis.Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Syntax,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
+		Dir:       dir,
+		Settings:  opts.Settings,
 		Report: func(d analysis.Diagnostic) {
 			pos := fset.Position(d.Pos)
-			k := key{filepath.Base(pos.Filename), pos.Line}
-			got[k] = append(got[k], d.Message)
+			if opts.Filtered && sup[filepath.Base(pos.Filename)].Allows(a.Name, pos.Line) {
+				return
+			}
+			record(a.Name, pos, d.Message)
 		},
+	}
+	if a.NeedsGCDiags {
+		// go build rejects _test.go files in file-list mode; fixtures for
+		// compiler-facts analyzers keep their code in non-test files.
+		var buildable []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				buildable = append(buildable, f)
+			}
+		}
+		diags, derr := gcdiag.ForFiles(dir, buildable)
+		if derr != nil {
+			t.Fatalf("%s: compiler diagnostics: %v", importPath, derr)
+		}
+		pass.GCDiags = diags
 	}
 	if _, err := a.Run(pass); err != nil {
 		t.Fatalf("%s: analyzer failed: %v", importPath, err)
@@ -154,10 +228,18 @@ func runPackage(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
 }
 
 // parseWant extracts the quoted regexps of a `// want "..." "..."` comment.
+// The marker may also trail other comment text (`//schedlint:allow ... // want
+// "..."`): directive-validation diagnostics land on the directive's own line,
+// and a line holds at most one line comment, so the want must share it.
 func parseWant(comment string) ([]*regexp.Regexp, error) {
 	text := strings.TrimPrefix(comment, "//")
 	text = strings.TrimSpace(text)
 	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		if i := strings.Index(text, "// want "); i >= 0 {
+			rest, ok = text[i+len("// want "):], true
+		}
+	}
 	if !ok {
 		return nil, nil
 	}

@@ -27,7 +27,11 @@ const DefaultFile = ".schedlint.conf"
 type Config struct {
 	// BaseDir anchors the relative path patterns (the module root).
 	BaseDir string
-	rules   []rule
+	// Settings holds `set <key> <value>` tuning directives (hotescape's
+	// inline budget and grow-helper list, abswitch's test-name pattern).
+	// Analyzers read them through analysis.Pass.Setting.
+	Settings map[string]string
+	rules    []rule
 }
 
 type rule struct {
@@ -35,19 +39,21 @@ type rule struct {
 	pattern  string // slash-separated path glob, or "dir/..." prefix
 }
 
-// Parse reads a conf file. Lines are `allow <analyzer|*> <path-pattern>`;
-// blank lines and #-comments are ignored. Patterns are matched against the
-// slash-separated path of the offending file relative to BaseDir, either as a
-// path.Match glob (per path element semantics do not apply: the glob is
-// matched against the whole relative path) or, when the pattern ends in
-// "/...", as a directory-prefix rule in the go tool's style.
+// Parse reads a conf file. Lines are `allow <analyzer|*> <path-pattern>` or
+// `set <key> <value...>`; blank lines and #-comments are ignored. Allow
+// patterns are matched against the slash-separated path of the offending file
+// relative to BaseDir, either as a path.Match glob (per path element
+// semantics do not apply: the glob is matched against the whole relative
+// path) or, when the pattern ends in "/...", as a directory-prefix rule in
+// the go tool's style. Set directives carry analyzer tuning (see
+// analysis.Pass.Setting); re-setting a key overrides the earlier value.
 func Parse(file string) (*Config, error) {
 	f, err := os.Open(file)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	cfg := &Config{BaseDir: filepath.Dir(file)}
+	cfg := Empty(filepath.Dir(file))
 	sc := bufio.NewScanner(f)
 	lineno := 0
 	for sc.Scan() {
@@ -57,13 +63,17 @@ func Parse(file string) (*Config, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 3 || fields[0] != "allow" {
-			return nil, fmt.Errorf("%s:%d: want `allow <analyzer|*> <path-pattern>`, got %q", file, lineno, line)
+		switch {
+		case fields[0] == "set" && len(fields) >= 3:
+			cfg.Settings[fields[1]] = strings.Join(fields[2:], " ")
+		case fields[0] == "allow" && len(fields) == 3:
+			if _, err := path.Match(strings.TrimSuffix(fields[2], "/..."), ""); err != nil {
+				return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", file, lineno, fields[2], err)
+			}
+			cfg.rules = append(cfg.rules, rule{analyzer: fields[1], pattern: fields[2]})
+		default:
+			return nil, fmt.Errorf("%s:%d: want `allow <analyzer|*> <path-pattern>` or `set <key> <value>`, got %q", file, lineno, line)
 		}
-		if _, err := path.Match(strings.TrimSuffix(fields[2], "/..."), ""); err != nil {
-			return nil, fmt.Errorf("%s:%d: bad pattern %q: %v", file, lineno, fields[2], err)
-		}
-		cfg.rules = append(cfg.rules, rule{analyzer: fields[1], pattern: fields[2]})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -72,7 +82,9 @@ func Parse(file string) (*Config, error) {
 }
 
 // Empty returns a Config with no rules, anchored at baseDir.
-func Empty(baseDir string) *Config { return &Config{BaseDir: baseDir} }
+func Empty(baseDir string) *Config {
+	return &Config{BaseDir: baseDir, Settings: make(map[string]string)}
+}
 
 // Allows reports whether diagnostics of the named analyzer are suppressed for
 // the given file (absolute or BaseDir-relative path).
@@ -124,6 +136,25 @@ type Suppressions struct {
 	byLine map[int]map[string]bool
 	// bad holds positions of malformed directives (missing reason/analyzers).
 	bad []token.Pos
+	// directives records every well-formed directive for validation: a
+	// directive naming an analyzer the driver does not know is a typo that
+	// would silently suppress nothing.
+	directives []Directive
+}
+
+// Directive is one well-formed inline allow: its position and the analyzer
+// names it grants.
+type Directive struct {
+	Pos   token.Pos
+	Names []string
+}
+
+// Directives returns the well-formed inline directives of the file.
+func (s *Suppressions) Directives() []Directive {
+	if s == nil {
+		return nil
+	}
+	return s.directives
 }
 
 // CollectSuppressions scans a parsed file's comments for inline directives.
@@ -152,9 +183,13 @@ func CollectSuppressions(fset *token.FileSet, f *ast.File) *Suppressions {
 				set = make(map[string]bool)
 				s.byLine[line] = set
 			}
+			d := Directive{Pos: c.Pos()}
 			for _, n := range names {
-				set[strings.TrimSpace(n)] = true
+				n = strings.TrimSpace(n)
+				set[n] = true
+				d.Names = append(d.Names, n)
 			}
+			s.directives = append(s.directives, d)
 		}
 	}
 	return s

@@ -1,0 +1,184 @@
+package config_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emts/internal/lint/config"
+)
+
+func parseConf(t *testing.T, text string) (*config.Config, error) {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), config.DefaultFile)
+	if err := os.WriteFile(file, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return config.Parse(file)
+}
+
+func TestParseSettingsAndAllows(t *testing.T) {
+	cfg, err := parseConf(t, `
+# comment lines and blanks are ignored
+
+allow nowallclock internal/report/...
+allow * cmd/bench/main.go
+allow floateq *_test.go
+set hotescape.inline-budget 2
+set hotescape.grow-helpers grow, growScratch
+set hotescape.inline-budget 3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := cfg.Settings["hotescape.inline-budget"]; got != "3" {
+		t.Errorf("re-set key: got %q, want later value %q", got, "3")
+	}
+	if got := cfg.Settings["hotescape.grow-helpers"]; got != "grow, growScratch" {
+		t.Errorf("multi-word set value: got %q", got)
+	}
+
+	for _, tc := range []struct {
+		analyzer, file string
+		want           bool
+	}{
+		{"nowallclock", "internal/report/timing.go", true},        // dir/... prefix
+		{"nowallclock", "internal/report", true},                  // the prefix dir itself
+		{"nowallclock", "internal/reporting/timing.go", false},    // prefix needs a path boundary
+		{"floateq", "internal/report/timing.go", false},           // analyzer-scoped rule
+		{"anything", "cmd/bench/main.go", true},                   // * matches every analyzer
+		{"anything", "cmd/bench/other.go", false},                 // exact glob
+		{"floateq", "internal/deep/nested/lattice_test.go", true}, // base-name glob at any depth
+	} {
+		if got := cfg.Allows(tc.analyzer, tc.file); got != tc.want {
+			t.Errorf("Allows(%q, %q) = %v, want %v", tc.analyzer, tc.file, got, tc.want)
+		}
+	}
+
+	// Absolute paths are matched relative to the conf file's directory.
+	abs := filepath.Join(cfg.BaseDir, "internal", "report", "timing.go")
+	if !cfg.Allows("nowallclock", abs) {
+		t.Errorf("Allows should resolve absolute paths against BaseDir")
+	}
+
+	var nilCfg *config.Config
+	if nilCfg.Allows("x", "y") {
+		t.Errorf("nil Config must allow nothing")
+	}
+}
+
+func TestParseRejectsBadLines(t *testing.T) {
+	for _, bad := range []string{
+		"allow onlytwo\n",       // missing pattern
+		"allow floateq a b\n",   // too many fields
+		"set just.a.key\n",      // set without a value
+		"allow floateq [\n",     // malformed glob
+		"permit floateq x.go\n", // unknown verb
+	} {
+		if _, err := parseConf(t, bad); err == nil {
+			t.Errorf("Parse accepted %q", bad)
+		}
+	}
+}
+
+const directiveSrc = `package p
+
+func f() {
+	x() //schedlint:allow floateq -- same-line reason
+	//schedlint:allow hotalloc,mapiterorder -- next-line reason
+	y()
+	//schedlint:allow floateq
+	z()
+	w() //schedlint:allow -- analyzers missing
+}
+`
+
+func TestCollectSuppressions(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := config.CollectSuppressions(fset, f)
+
+	// Trailing directive scopes its own line; a directive alone on its line
+	// scopes the next line.
+	checks := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"floateq", 4, true},      // trailing: own line
+		{"floateq", 5, false},     // does not leak downward
+		{"hotalloc", 6, true},     // standalone: next line
+		{"mapiterorder", 6, true}, // comma list: both names
+		{"hotalloc", 5, false},    // not its own line
+		{"floateq", 6, false},     // line scope is per analyzer
+		{"floateq", 8, false},     // reasonless directive grants nothing
+	}
+	for _, c := range checks {
+		if got := sup.Allows(c.analyzer, c.line); got != c.want {
+			t.Errorf("Allows(%q, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+
+	// Both malformed shapes — missing reason, missing analyzer list — are
+	// recorded for the driver to report.
+	bad := sup.Malformed()
+	if len(bad) != 2 {
+		t.Fatalf("Malformed: got %d positions, want 2", len(bad))
+	}
+	if l := fset.Position(bad[0]).Line; l != 7 {
+		t.Errorf("first malformed directive at line %d, want 7", l)
+	}
+	if l := fset.Position(bad[1]).Line; l != 9 {
+		t.Errorf("second malformed directive at line %d, want 9", l)
+	}
+
+	// Well-formed directives are retained for unknown-analyzer validation.
+	ds := sup.Directives()
+	if len(ds) != 2 {
+		t.Fatalf("Directives: got %d, want 2", len(ds))
+	}
+	if got := ds[1].Names; len(got) != 2 || got[0] != "hotalloc" || got[1] != "mapiterorder" {
+		t.Errorf("second directive names = %v", got)
+	}
+
+	var nilSup *config.Suppressions
+	if nilSup.Allows("x", 1) || nilSup.Malformed() != nil || nilSup.Directives() != nil {
+		t.Errorf("nil Suppressions must be inert")
+	}
+}
+
+// TestTierPrecedence documents the two suppression tiers' interplay the driver
+// implements: a conf rule silences a whole file for one analyzer while inline
+// directives stay line- and analyzer-scoped — either tier alone suffices, and
+// neither widens the other.
+func TestTierPrecedence(t *testing.T) {
+	cfg, err := parseConf(t, "allow floateq internal/report/...\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directiveSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := config.CollectSuppressions(fset, f)
+
+	file := "internal/report/timing.go"
+	// File tier: every floateq line in the file, any line number.
+	if !cfg.Allows("floateq", file) {
+		t.Errorf("conf tier should allow floateq anywhere in %s", file)
+	}
+	// Line tier: hotalloc is only allowed on its directive's target line.
+	if cfg.Allows("hotalloc", file) {
+		t.Errorf("conf tier must not cover analyzers it does not name")
+	}
+	if !sup.Allows("hotalloc", 6) || sup.Allows("hotalloc", 99) {
+		t.Errorf("inline tier must stay line-scoped")
+	}
+}

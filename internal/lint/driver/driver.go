@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 
 	"emts/internal/lint/analysis"
 	"emts/internal/lint/config"
+	"emts/internal/lint/gcdiag"
 )
 
 // Finding is one post-filter diagnostic.
@@ -25,9 +27,29 @@ func (f Finding) String() string {
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. cfg may be nil (no file-level allowlist).
-// Malformed inline directives are reported as findings of the pseudo-analyzer
-// "schedlint" so a typo cannot silently suppress nothing.
-func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config) ([]Finding, error) {
+// known is the full set of analyzer names inline directives may legally
+// reference (nil means: exactly the analyzers being run); a directive naming
+// anything else is reported — a typo would otherwise suppress nothing,
+// silently. Malformed inline directives are likewise reported as findings of
+// the pseudo-analyzer "schedlint".
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config, known []string) ([]Finding, error) {
+	if known == nil {
+		for _, a := range analyzers {
+			known = append(known, a.Name)
+		}
+	}
+	knownSet := make(map[string]bool, len(known)+1)
+	knownSet["schedlint"] = true // the driver's own pseudo-analyzer
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	needGC := false
+	for _, a := range analyzers {
+		if a.NeedsGCDiags {
+			needGC = true
+		}
+	}
+
 	var findings []Finding
 	for _, pkg := range pkgs {
 		sup := make(map[string]*config.Suppressions, len(pkg.Files))
@@ -41,6 +63,25 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config) ([
 					Message:  "malformed //schedlint:allow directive: want `//schedlint:allow <analyzer>[,...] -- <reason>`",
 				})
 			}
+			for _, d := range s.Directives() {
+				for _, n := range d.Names {
+					if !knownSet[n] {
+						findings = append(findings, Finding{
+							Analyzer: "schedlint",
+							Position: pkg.Fset.Position(d.Pos),
+							Message:  fmt.Sprintf("//schedlint:allow names unknown analyzer %q (known: %s)", n, strings.Join(known, ", ")),
+						})
+					}
+				}
+			}
+		}
+		var diags []analysis.GCDiag
+		if needGC && pkg.Dir != "" && !hasTestFiles(pkg) {
+			var err error
+			diags, err = gcdiag.ForPackage(pkg.Dir, pkg.Types != nil && pkg.Types.Name() == "main")
+			if err != nil {
+				return nil, fmt.Errorf("compiler diagnostics for %s: %v", pkg.ImportPath, err)
+			}
 		}
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
@@ -49,6 +90,16 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config) ([
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Dir:       pkg.Dir,
+			}
+			if cfg != nil {
+				pass.Settings = cfg.Settings
+			}
+			if a.NeedsGCDiags {
+				if diags == nil {
+					continue // test variant or unknown dir: no compiler facts
+				}
+				pass.GCDiags = diags
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
@@ -79,4 +130,16 @@ func Run(pkgs []*Package, analyzers []*analysis.Analyzer, cfg *config.Config) ([
 		return a.Analyzer < b.Analyzer
 	})
 	return findings, nil
+}
+
+// hasTestFiles reports whether the package includes _test.go sources — the
+// vet protocol hands schedlint test variants, which cannot be rebuilt
+// standalone for compiler diagnostics (and carry no hotpath annotations).
+func hasTestFiles(pkg *Package) bool {
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(f, "_test.go") {
+			return true
+		}
+	}
+	return false
 }

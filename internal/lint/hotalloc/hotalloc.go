@@ -22,13 +22,13 @@ package hotalloc
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 
 	"emts/internal/lint/analysis"
+	"emts/internal/lint/hotmark"
 )
 
 // Marker is the doc-comment line that opts a function into the check.
-const Marker = "//schedlint:hotpath"
+const Marker = hotmark.Marker
 
 // Analyzer implements the check.
 var Analyzer = &analysis.Analyzer{
@@ -41,25 +41,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotPath(fn) {
+			if !ok || fn.Body == nil || !hotmark.IsHotPath(fn) {
 				continue
 			}
 			checkFunc(pass, fn)
 		}
 	}
 	return nil, nil
-}
-
-func isHotPath(fn *ast.FuncDecl) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	for _, c := range fn.Doc.List {
-		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
-			return true
-		}
-	}
-	return false
 }
 
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {

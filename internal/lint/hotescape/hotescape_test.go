@@ -1,0 +1,18 @@
+package hotescape_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/hotescape"
+)
+
+func TestHotEscape(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), hotescape.Analyzer,
+		analysistest.Options{Settings: map[string]string{"hotescape.grow-helpers": "grow"}}, "a")
+}
+
+func TestHotEscapeAllowDirectives(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), hotescape.Analyzer,
+		analysistest.Options{Filtered: true}, "allow")
+}

@@ -1,0 +1,88 @@
+// Fixture for the hotescape analyzer. The harness compiles this file with
+// `go build -gcflags=-m` and feeds the compiler's verdicts to the analyzer,
+// so every want below rides on a deterministic escape-analysis outcome:
+// returning a pointer to a local always escapes, storing a local's address in
+// a global always moves it, and //go:noinline always defeats the inliner.
+package a
+
+type point struct{ x, y float64 }
+
+var sinkInt *int
+
+// hotEsc returns a pointer to a fresh composite literal: a per-call heap
+// allocation the compiler reports at the literal.
+//
+//schedlint:hotpath
+func hotEsc(x float64) *point {
+	return &point{x: x} // want `escapes to heap`
+}
+
+// hotMove leaks a local's address into a global: moved to heap.
+//
+//schedlint:hotpath
+func hotMove(n int) {
+	x := n // want `moved to heap`
+	sinkInt = &x
+}
+
+// heavy is pinned non-inlinable, standing in for a callee past the inliner's
+// cost threshold.
+//
+//go:noinline
+func heavy(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+func small(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+// hotCalls: small inlines (fine), heavy does not (one over-budget miss).
+//
+//schedlint:hotpath
+func hotCalls(xs []float64) float64 {
+	return small(xs) + heavy(xs) // want `1 same-package call\(s\) not inlined \(budget 0\): heavy`
+}
+
+// grow is the sanctioned arena helper (set hotescape.grow-helpers grow): its
+// amortized allocation is exempt whether or not the inliner folds it into the
+// caller, and the call itself is exempt from the inline budget.
+func grow(xs []float64, n int) []float64 {
+	if cap(xs) < n {
+		xs = make([]float64, n)
+	}
+	return xs[:n]
+}
+
+//schedlint:hotpath
+func hotGrow(buf []float64, n int) []float64 {
+	buf = grow(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// hotClean allocates nothing and calls nothing: the shape every hotpath
+// function should have.
+//
+//schedlint:hotpath
+func hotClean(xs []float64) float64 {
+	var t float64
+	for _, v := range xs {
+		t += v
+	}
+	return t
+}
+
+// coldEsc is unmarked: the same escape passes.
+func coldEsc() *point {
+	return &point{x: 1}
+}

@@ -1,0 +1,17 @@
+// Fixture for hotescape //schedlint:allow handling (filtered mode): a
+// sanctioned cold-path escape carries a reasoned directive, a naked one
+// reports.
+package allow
+
+type item struct{ v int }
+
+//schedlint:hotpath
+func hotAllowed(v int) *item {
+	//schedlint:allow hotescape -- fixture: once-per-shape setup allocation
+	return &item{v: v}
+}
+
+//schedlint:hotpath
+func hotNaked(v int) *item {
+	return &item{v: v} // want `escapes to heap`
+}

@@ -1,0 +1,40 @@
+// Package hotmark defines the `//schedlint:hotpath` annotation shared by the
+// hot-path analyzers (hotalloc, hotescape, sentinelerr). A function carrying
+// the marker in its doc comment opts into the zero-allocation and
+// sentinel-error disciplines of DESIGN.md §9/§14; the analyzers enforce them
+// statically.
+package hotmark
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Marker is the doc-comment line that opts a function into the hot-path
+// checks.
+const Marker = "//schedlint:hotpath"
+
+// IsHotPath reports whether the function declaration carries the marker.
+func IsHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == Marker || strings.HasPrefix(c.Text, Marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// Funcs returns the hot-path function declarations of a file, in source
+// order.
+func Funcs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil && IsHotPath(fn) {
+			out = append(out, fn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/lockscope"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockscope.Analyzer, "a")
+}
+
+func TestLockScopeAllowDirectives(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), lockscope.Analyzer,
+		analysistest.Options{Filtered: true}, "allow")
+}

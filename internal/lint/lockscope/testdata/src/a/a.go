@@ -1,0 +1,98 @@
+// Fixture for the lockscope analyzer.
+package a
+
+import "sync"
+
+// guarded transitively contains a lock: copying it forks the lock state.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// --- rule 1: sync types copied by value ---
+
+func byValParam(g guarded) int { // want `parameter passes a\.guarded by value`
+	return g.n
+}
+
+func (g guarded) byValRecv() int { // want `receiver passes a\.guarded by value`
+	return g.n
+}
+
+func byValResult() (g guarded) { // want `result passes a\.guarded by value`
+	return
+}
+
+func byPtr(g *guarded) int { // pointers share, not copy: fine
+	return g.n
+}
+
+func copies(items []guarded, ptrs []*guarded) {
+	var a guarded
+	b := a // want `copies a\.guarded by value`
+	_ = b
+	var c guarded = a // want `copies a\.guarded by value`
+	_ = c
+	for _, it := range items { // want `range copies a\.guarded by value`
+		_ = it
+	}
+	for i := range items { // by index: fine
+		_ = items[i].n
+	}
+	for _, p := range ptrs { // pointer elements: fine
+		_ = p
+	}
+	d := &a // taking the address shares: fine
+	_ = d
+	fresh := guarded{} // fresh value, no lock state to fork yet: fine
+	_ = fresh
+}
+
+// --- rule 2: locks held across channel operations ---
+
+type server struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (s *server) heldSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) heldRecv() {
+	s.mu.Lock()
+	<-s.ch // want `channel receive while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) heldSelect() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	select { // want `select while holding s\.mu`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *server) released() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 2 // lock released first: fine
+}
+
+func (s *server) heldWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `sync wg\.Wait while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) spawn() {
+	s.mu.Lock()
+	go func() {
+		s.ch <- 3 // separate goroutine root, scanned with an empty lock set: fine
+	}()
+	s.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+// Fixture for lockscope //schedlint:allow handling (filtered mode): the
+// send-vs-close protocol shape from internal/server, sanctioned on one method
+// and naked on the other.
+package allow
+
+import "sync"
+
+type queue struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (q *queue) sanctioned() {
+	q.mu.RLock()
+	//schedlint:allow lockscope -- fixture: non-blocking send under RLock so Shutdown's write lock can fence it
+	q.ch <- 1
+	q.mu.RUnlock()
+}
+
+func (q *queue) naked() {
+	q.mu.RLock()
+	q.ch <- 2 // want `channel send while holding q\.mu`
+	q.mu.RUnlock()
+}

@@ -5,23 +5,42 @@
 package lint
 
 import (
+	"emts/internal/lint/abswitch"
 	"emts/internal/lint/analysis"
 	"emts/internal/lint/floateq"
 	"emts/internal/lint/hotalloc"
+	"emts/internal/lint/hotescape"
+	"emts/internal/lint/lockscope"
 	"emts/internal/lint/mapiterorder"
 	"emts/internal/lint/norandglobal"
 	"emts/internal/lint/nowallclock"
+	"emts/internal/lint/sentinelerr"
 )
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		abswitch.Analyzer,
 		floateq.Analyzer,
 		hotalloc.Analyzer,
+		hotescape.Analyzer,
+		lockscope.Analyzer,
 		mapiterorder.Analyzer,
 		norandglobal.Analyzer,
 		nowallclock.Analyzer,
+		sentinelerr.Analyzer,
 	}
+}
+
+// Names returns the names of every registered analyzer, in suite order. The
+// driver validates inline //schedlint:allow directives against this set.
+func Names() []string {
+	all := Analyzers()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
 }
 
 // ByName resolves a comma-separated analyzer selection; an empty selection

@@ -1,0 +1,17 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sentinelerr.Analyzer, "a")
+}
+
+func TestSentinelErrAllowDirectives(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), sentinelerr.Analyzer,
+		analysistest.Options{Filtered: true}, "allow")
+}

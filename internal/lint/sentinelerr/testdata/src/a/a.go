@@ -1,0 +1,47 @@
+// Fixture for the sentinelerr analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRejected stands in for the listsched umbrella sentinel.
+var ErrRejected = errors.New("rejected")
+
+//schedlint:hotpath
+func hot(err, other error, n int) error {
+	if err != nil { // nil compare: fine
+		return ErrRejected
+	}
+	if err == ErrRejected { // sentinel compare: fine
+		return nil
+	}
+	if errors.Is(err, ErrRejected) { // errors.Is: fine
+		return nil
+	}
+	if err == other { // want `comparing two non-sentinel errors`
+		return nil
+	}
+	if err.Error() == "rejected" { // want `comparing err\.Error\(\) text`
+		return nil
+	}
+	switch n {
+	case 1:
+		return fmt.Errorf("bad n: %d", n) // want `fmt\.Errorf constructs an error per call`
+	case 2:
+		return errors.New("two") // want `errors\.New constructs an error per call`
+	case 3:
+		return errors.Join(err, other) // want `errors\.Join constructs an error per call`
+	}
+	f := func() error { return fmt.Errorf("closures are not the hot loop: %d", n) }
+	return f()
+}
+
+// cold is unmarked: the same constructs pass.
+func cold(err, other error) error {
+	if err == other {
+		return fmt.Errorf("mismatch: %v", err)
+	}
+	return errors.New("cold")
+}

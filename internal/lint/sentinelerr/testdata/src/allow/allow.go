@@ -1,0 +1,26 @@
+// Fixture for inline //schedlint:allow handling, run in filtered mode: the
+// harness applies directives the way the real driver does and surfaces
+// malformed or unknown-analyzer directives as "schedlint" diagnostics.
+package allow
+
+import "fmt"
+
+//schedlint:hotpath
+func hot(n int) error {
+	if n < 0 {
+		//schedlint:allow sentinelerr -- fixture: sanctioned cold branch (next-line scope)
+		return fmt.Errorf("suppressed: %d", n)
+	}
+	if n == 1 {
+		return fmt.Errorf("suppressed inline: %d", n) //schedlint:allow sentinelerr -- fixture: same-line scope
+	}
+	if n == 2 {
+		//schedlint:allow sentinelerr // want `malformed //schedlint:allow directive`
+		return fmt.Errorf("reasonless directive suppresses nothing: %d", n) // want `constructs an error per call`
+	}
+	if n == 3 {
+		//schedlint:allow bogus -- typo fixture // want `names unknown analyzer "bogus"`
+		return fmt.Errorf("wrong analyzer name suppresses nothing: %d", n) // want `constructs an error per call`
+	}
+	return nil
+}

@@ -123,8 +123,10 @@ func (b *BatchMapper) Release() {
 // for. Valid after Release, so pools can file instances by shape.
 func (b *BatchMapper) Shape() (tasks, procs int) { return b.tasks, b.procs }
 
+//schedlint:hotpath
 func (b *BatchMapper) bind(g *dag.Graph, tab *model.Table) error {
 	if tab.NumTasks() != g.NumTasks() {
+		//schedlint:allow hotalloc,sentinelerr,hotescape -- cold validation path: a shape mismatch is a caller bug, never the steady-state rebind
 		return fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
 	}
 	order, err := g.TopologicalOrderInto(b.topoOrder)
@@ -159,6 +161,7 @@ func (b *BatchMapper) bind(g *dag.Graph, tab *model.Table) error {
 		b.st.mark[i] = false
 	}
 	if cap(b.st.ready.items) < n {
+		//schedlint:allow hotescape -- amortized arena growth: reallocates only when the task count outgrows the retained capacity
 		b.st.ready.items = make([]dag.TaskID, 0, n)
 	}
 	b.st.ready.items = b.st.ready.items[:0]

@@ -73,7 +73,7 @@ func MapInsertion(g *dag.Graph, tab *model.Table, alloc schedule.Allocation) (*s
 		}
 	}
 	if placed != n {
-		return nil, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
+		return nil, errIncomplete
 	}
 	return sched, nil
 }

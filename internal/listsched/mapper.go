@@ -148,8 +148,11 @@ func grow[T any](s []T, n int) []T {
 // bind sizes every arena for (g, tab) and resets all pair-dependent state.
 // Shared by NewMapper (all capacities zero, so everything allocates) and
 // Rebind (same-shape pairs reuse every arena).
+//
+//schedlint:hotpath
 func (m *Mapper) bind(g *dag.Graph, tab *model.Table) error {
 	if tab.NumTasks() != g.NumTasks() {
+		//schedlint:allow hotalloc,sentinelerr,hotescape -- cold validation path: a shape mismatch is a caller bug, never the steady-state rebind
 		return fmt.Errorf("listsched: table covers %d tasks, graph has %d", tab.NumTasks(), g.NumTasks())
 	}
 	order, err := g.TopologicalOrderInto(m.topoOrder)
@@ -169,6 +172,7 @@ func (m *Mapper) bind(g *dag.Graph, tab *model.Table) error {
 		m.st.mark[i] = false
 	}
 	if cap(m.st.ready.items) < n {
+		//schedlint:allow hotescape -- amortized arena growth: reallocates only when the task count outgrows the retained capacity
 		m.st.ready.items = make([]dag.TaskID, 0, n)
 	}
 	m.st.ready.items = m.st.ready.items[:0]
@@ -562,8 +566,7 @@ func runMapLoop(g *dag.Graph, tab *model.Table, procs int, alloc schedule.Alloca
 	}
 
 	if placed != n {
-		//schedlint:allow hotalloc -- cold error path: fires once per run on a cyclic graph, never on the fitness path
-		return 0, fmt.Errorf("listsched: scheduled %d of %d tasks (cyclic graph?)", placed, n)
+		return 0, errIncomplete
 	}
 	return makespan, nil
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	emts-loadgen [-url http://localhost:8080] [-c 4] [-duration 10s]
+//	emts-loadgen [-url http://localhost:8080] [-direct addr1,addr2,...]
+//	             [-c 4] [-duration 10s]
 //	             [-graphs fft8,strassen,random50] [-algo emts5]
 //	             [-model synthetic] [-cluster chti] [-seeds 8] [-seed 1]
 //	             [-rps 0] [-json file]
@@ -22,6 +23,13 @@
 // silently throttling the generator (the coordinated-omission trap of closed
 // loops). The report states offered vs achieved rate; a gap means the server
 // (or the client host) could not keep up.
+//
+// -direct addr1,addr2,... replaces -url with a round-robin sweep over
+// several backends — the no-affinity baseline the routing tier (emts-router)
+// is measured against: every backend sees the whole working set, so bounded
+// caches thrash where digest routing would keep them hot. The report's
+// interned/cache hit rates and per-instance counts (X-Emts-Instance) make
+// the comparison directly readable.
 //
 // -json FILE additionally writes the machine-readable summary to FILE
 // ("-" = stdout) for benchmark harnesses and CI gates.
@@ -49,7 +57,8 @@ import (
 
 func main() {
 	var (
-		url      = flag.String("url", "http://localhost:8080", "server base URL")
+		url      = flag.String("url", "http://localhost:8080", "server base URL (router or single backend)")
+		direct   = flag.String("direct", "", "comma-separated backend addresses swept round-robin (overrides -url)")
 		conc     = flag.Int("c", 4, "concurrent closed-loop workers")
 		duration = flag.Duration("duration", 10*time.Second, "test duration")
 		graphs   = flag.String("graphs", "fft8,strassen,random50", "comma-separated workloads: fftN, strassen, randomN")
@@ -63,10 +72,43 @@ func main() {
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *url, *graphs, *algo, *model, *cluster, *conc, *seeds, *seed, *duration, *timeout, *rps, *jsonOut); err != nil {
+	opts := loadOpts{
+		url:      *url,
+		direct:   *direct,
+		graphs:   *graphs,
+		algo:     *algo,
+		model:    *model,
+		cluster:  *cluster,
+		conc:     *conc,
+		seeds:    *seeds,
+		seed:     *seed,
+		duration: *duration,
+		timeout:  *timeout,
+		rps:      *rps,
+		jsonOut:  *jsonOut,
+	}
+	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// loadOpts gathers one run's parameters (the flag surface, testable without
+// a flag set).
+type loadOpts struct {
+	url      string
+	direct   string
+	graphs   string
+	algo     string
+	model    string
+	cluster  string
+	conc     int
+	seeds    int
+	seed     int64
+	duration time.Duration
+	timeout  time.Duration
+	rps      float64
+	jsonOut  string
 }
 
 // buildBodies pre-marshals every request body: workloads × seeds. Marshaling
@@ -131,39 +173,97 @@ func generate(spec string, seed int64) (*dag.Graph, error) {
 	return nil, fmt.Errorf("unknown workload %q (fftN, strassen, randomN)", spec)
 }
 
-// result aggregates one worker's observations.
-type result struct {
-	latencies []time.Duration // successful (200) requests only
-	codes     map[int]int
-	cacheHits int
-	firstErr  error
+// targets maps the flag surface to the endpoint list: -direct round-robins
+// several backends, -url hits one front end (router or single server).
+func targets(url, direct string) ([]string, error) {
+	if direct == "" {
+		return []string{strings.TrimSuffix(url, "/") + "/v1/schedule"}, nil
+	}
+	var out []string
+	for _, f := range strings.Split(direct, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if !strings.Contains(f, "://") {
+			f = "http://" + f
+		}
+		out = append(out, strings.TrimSuffix(f, "/")+"/v1/schedule")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no addresses in -direct")
+	}
+	return out, nil
 }
 
-func run(out io.Writer, url, graphSpecs, algo, model, cluster string, conc, nSeeds int, baseSeed int64, duration, timeout time.Duration, rps float64, jsonOut string) error {
-	if conc < 1 {
-		return fmt.Errorf("-c %d, want >= 1", conc)
+// result aggregates one worker's observations.
+type result struct {
+	latencies   []time.Duration // successful (200) requests only
+	codes       map[int]int
+	cacheHits   int
+	internGraph int            // 200s whose X-Emts-Interned includes "graph"
+	internTable int            // ... and "table"
+	instances   map[string]int // X-Emts-Instance values of 200s
+	firstErr    error
+}
+
+// observe folds one response into the result (200s only carry latency,
+// cache, intern, and instance accounting).
+func (res *result) observe(resp *http.Response, elapsed time.Duration) {
+	res.codes[resp.StatusCode]++
+	if resp.StatusCode != http.StatusOK {
+		return
 	}
-	if rps < 0 {
-		return fmt.Errorf("-rps %g, want >= 0", rps)
+	res.latencies = append(res.latencies, elapsed)
+	if resp.Header.Get("X-Emts-Cache") == "hit" {
+		res.cacheHits++
 	}
-	bodies, err := buildBodies(graphSpecs, algo, model, cluster, nSeeds, baseSeed)
+	switch resp.Header.Get("X-Emts-Interned") {
+	case "graph":
+		res.internGraph++
+	case "table":
+		res.internTable++
+	case "graph,table":
+		res.internGraph++
+		res.internTable++
+	}
+	if id := resp.Header.Get("X-Emts-Instance"); id != "" {
+		if res.instances == nil {
+			res.instances = make(map[string]int)
+		}
+		res.instances[id]++
+	}
+}
+
+func run(out io.Writer, o loadOpts) error {
+	if o.conc < 1 {
+		return fmt.Errorf("-c %d, want >= 1", o.conc)
+	}
+	if o.rps < 0 {
+		return fmt.Errorf("-rps %g, want >= 0", o.rps)
+	}
+	bodies, err := buildBodies(o.graphs, o.algo, o.model, o.cluster, o.seeds, o.seed)
 	if err != nil {
 		return err
 	}
-	target := strings.TrimSuffix(url, "/") + "/v1/schedule"
-	client := &http.Client{Timeout: timeout}
+	tgts, err := targets(o.url, o.direct)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: o.timeout}
 
 	var results []result
-	if rps > 0 {
-		results = runOpen(client, target, bodies, baseSeed, duration, rps)
+	if o.rps > 0 {
+		results = runOpen(client, tgts, bodies, o.seed, o.duration, o.rps)
 	} else {
-		results = runClosed(client, target, bodies, baseSeed, duration, conc)
+		results = runClosed(client, tgts, bodies, o.seed, o.duration, o.conc)
 	}
-	return report(out, results, duration, rps, jsonOut)
+	return report(out, results, o.duration, o.rps, o.jsonOut)
 }
 
 // runClosed is the default mode: conc workers, one request in flight each.
-func runClosed(client *http.Client, target string, bodies [][]byte, baseSeed int64, duration time.Duration, conc int) []result {
+// With several targets each worker round-robins across them per request.
+func runClosed(client *http.Client, tgts []string, bodies [][]byte, baseSeed int64, duration time.Duration, conc int) []result {
 	deadline := time.Now().Add(duration)
 	results := make([]result, conc)
 	var wg sync.WaitGroup
@@ -175,8 +275,9 @@ func runClosed(client *http.Client, target string, bodies [][]byte, baseSeed int
 			// so concurrent workers don't sweep the cache in lockstep.
 			rng := rand.New(rand.NewSource(baseSeed + int64(w)))
 			res := result{codes: make(map[int]int)}
-			for time.Now().Before(deadline) {
+			for n := w; time.Now().Before(deadline); n++ {
 				body := bodies[rng.Intn(len(bodies))]
+				target := tgts[n%len(tgts)]
 				start := time.Now()
 				resp, err := client.Post(target, "application/json", bytes.NewReader(body))
 				elapsed := time.Since(start)
@@ -189,13 +290,7 @@ func runClosed(client *http.Client, target string, bodies [][]byte, baseSeed int
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				res.codes[resp.StatusCode]++
-				if resp.StatusCode == http.StatusOK {
-					res.latencies = append(res.latencies, elapsed)
-					if resp.Header.Get("X-Emts-Cache") == "hit" {
-						res.cacheHits++
-					}
-				}
+				res.observe(resp, elapsed)
 				if resp.StatusCode == http.StatusTooManyRequests {
 					// Closed-loop backoff: honor Retry-After if parseable.
 					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
@@ -216,7 +311,7 @@ func runClosed(client *http.Client, target string, bodies [][]byte, baseSeed int
 // the request instead of silently pausing the generator (no coordinated
 // omission). The dispatcher never waits for responses; if the host cannot
 // spawn fast enough the report's achieved-vs-offered gap says so.
-func runOpen(client *http.Client, target string, bodies [][]byte, baseSeed int64, duration time.Duration, rps float64) []result {
+func runOpen(client *http.Client, tgts []string, bodies [][]byte, baseSeed int64, duration time.Duration, rps float64) []result {
 	interval := time.Duration(float64(time.Second) / rps)
 	n := int(duration.Seconds() * rps)
 	if n < 1 {
@@ -240,7 +335,7 @@ func runOpen(client *http.Client, target string, bodies [][]byte, baseSeed int64
 		go func(i int, scheduled time.Time) {
 			defer wg.Done()
 			res := result{codes: make(map[int]int)}
-			resp, err := client.Post(target, "application/json", bytes.NewReader(bodies[picks[i]]))
+			resp, err := client.Post(tgts[i%len(tgts)], "application/json", bytes.NewReader(bodies[picks[i]]))
 			elapsed := time.Since(scheduled) // from the schedule, not the send
 			if err != nil {
 				res.firstErr = err
@@ -248,13 +343,7 @@ func runOpen(client *http.Client, target string, bodies [][]byte, baseSeed int64
 			} else {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				res.codes[resp.StatusCode]++
-				if resp.StatusCode == http.StatusOK {
-					res.latencies = append(res.latencies, elapsed)
-					if resp.Header.Get("X-Emts-Cache") == "hit" {
-						res.cacheHits++
-					}
-				}
+				res.observe(resp, elapsed)
 			}
 			results[i] = res
 		}(i, scheduled)
@@ -272,16 +361,26 @@ type summary struct {
 	AchievedRPS float64        `json:"achieved_rps"`
 	Codes       map[string]int `json:"codes"`
 	CacheHits   int            `json:"cache_hits"`
-	P50Ms       float64        `json:"p50_ms"`
-	P95Ms       float64        `json:"p95_ms"`
-	P99Ms       float64        `json:"p99_ms"`
-	MaxMs       float64        `json:"max_ms"`
+	// Hit rates over successful (200) requests, in percent: the response
+	// cache (X-Emts-Cache) and the graph/table interns (X-Emts-Interned).
+	// These are the affinity observables digest routing is measured by.
+	CacheHitPct    float64 `json:"cache_hit_pct"`
+	InternGraphPct float64 `json:"intern_graph_hit_pct"`
+	InternTablePct float64 `json:"intern_table_hit_pct"`
+	// Instances counts 200s by the X-Emts-Instance header (empty when the
+	// backends don't stamp one).
+	Instances map[string]int `json:"instances,omitempty"`
+	P50Ms     float64        `json:"p50_ms"`
+	P95Ms     float64        `json:"p95_ms"`
+	P99Ms     float64        `json:"p99_ms"`
+	MaxMs     float64        `json:"max_ms"`
 }
 
 func report(out io.Writer, results []result, duration time.Duration, rps float64, jsonOut string) error {
 	var all []time.Duration
 	codes := make(map[int]int)
-	hits := 0
+	hits, internGraph, internTable := 0, 0, 0
+	instances := make(map[string]int)
 	var firstErr error
 	for _, r := range results {
 		all = append(all, r.latencies...)
@@ -289,6 +388,11 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 			codes[c] += n
 		}
 		hits += r.cacheHits
+		internGraph += r.internGraph
+		internTable += r.internTable
+		for id, n := range r.instances {
+			instances[id] += n
+		}
 		if firstErr == nil {
 			firstErr = r.firstErr
 		}
@@ -321,7 +425,21 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 		}
 		return fmt.Errorf("no successful requests")
 	}
-	fmt.Fprintf(out, "cache hits: %d/%d (%.1f%%)\n", hits, len(all), 100*float64(hits)/float64(len(all)))
+	pct := func(n int) float64 { return 100 * float64(n) / float64(len(all)) }
+	fmt.Fprintf(out, "cache hits: %d/%d (%.1f%%)\n", hits, len(all), pct(hits))
+	fmt.Fprintf(out, "interned:   graph %.1f%%  table %.1f%%\n", pct(internGraph), pct(internTable))
+	if len(instances) > 0 {
+		ids := make([]string, 0, len(instances))
+		for id := range instances {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(out, "instances: ")
+		for _, id := range ids {
+			fmt.Fprintf(out, " %s=%d", id, instances[id])
+		}
+		fmt.Fprintln(out)
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	fmt.Fprintf(out, "latency:    p50 %s  p95 %s  p99 %s  max %s\n",
 		percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99), all[len(all)-1])
@@ -329,16 +447,22 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 	if jsonOut != "" {
 		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 		s := summary{
-			Mode:        "closed",
-			Requests:    total,
-			DurationSec: duration.Seconds(),
-			AchievedRPS: achieved,
-			Codes:       make(map[string]int, len(codes)),
-			CacheHits:   hits,
-			P50Ms:       ms(percentile(all, 0.50)),
-			P95Ms:       ms(percentile(all, 0.95)),
-			P99Ms:       ms(percentile(all, 0.99)),
-			MaxMs:       ms(all[len(all)-1]),
+			Mode:           "closed",
+			Requests:       total,
+			DurationSec:    duration.Seconds(),
+			AchievedRPS:    achieved,
+			Codes:          make(map[string]int, len(codes)),
+			CacheHits:      hits,
+			CacheHitPct:    pct(hits),
+			InternGraphPct: pct(internGraph),
+			InternTablePct: pct(internTable),
+			P50Ms:          ms(percentile(all, 0.50)),
+			P95Ms:          ms(percentile(all, 0.95)),
+			P99Ms:          ms(percentile(all, 0.99)),
+			MaxMs:          ms(all[len(all)-1]),
+		}
+		if len(instances) > 0 {
+			s.Instances = instances
 		}
 		if rps > 0 {
 			s.Mode, s.OfferedRPS = "open", rps

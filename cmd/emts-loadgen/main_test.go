@@ -57,23 +57,64 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// opts builds a loadOpts with the test defaults.
+func opts(url string, conc, seeds int, duration time.Duration, rps float64, jsonOut string) loadOpts {
+	return loadOpts{
+		url: url, graphs: "fft4", algo: "cpa", model: "synthetic", cluster: "chti",
+		conc: conc, seeds: seeds, seed: 1,
+		duration: duration, timeout: 5 * time.Second, rps: rps, jsonOut: jsonOut,
+	}
+}
+
 // TestRunAgainstServer drives the full closed loop against a real in-process
-// server and checks the report.
+// server and checks the report, including the interned-rate and instance
+// lines added for the routing tier's affinity measurements.
 func TestRunAgainstServer(t *testing.T) {
-	svc := server.New(server.Config{Workers: 2})
+	svc := server.New(server.Config{Workers: 2, InstanceID: "b-test"})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
 	var out strings.Builder
-	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 2, 2, 1, 300*time.Millisecond, 5*time.Second, 0, "")
+	err := run(&out, opts(ts.URL, 2, 2, 300*time.Millisecond, 0, ""))
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	report := out.String()
-	for _, want := range []string{"requests:", "200", "cache hits:", "latency:", "p50", "p99"} {
+	for _, want := range []string{"requests:", "200", "cache hits:", "interned:", "graph", "table", "instances:", "b-test=", "latency:", "p50", "p99"} {
 		if !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
 		}
+	}
+}
+
+// TestRunDirectRoundRobin sweeps two backends round-robin via -direct and
+// checks both instances served traffic.
+func TestRunDirectRoundRobin(t *testing.T) {
+	var urls []string
+	for _, id := range []string{"b1", "b2"} {
+		svc := server.New(server.Config{Workers: 1, InstanceID: id})
+		ts := httptest.NewServer(svc.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+
+	jsonPath := t.TempDir() + "/summary.json"
+	o := opts("", 2, 2, 400*time.Millisecond, 0, jsonPath)
+	o.direct = strings.Join(urls, ",")
+	var out strings.Builder
+	if err := run(&out, o); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatalf("summary JSON: %v\n%s", err, b)
+	}
+	if s.Instances["b1"] == 0 || s.Instances["b2"] == 0 {
+		t.Fatalf("round-robin left a backend idle: %+v\n%s", s.Instances, out.String())
 	}
 }
 
@@ -86,7 +127,7 @@ func TestRunOpenLoop(t *testing.T) {
 
 	jsonPath := t.TempDir() + "/summary.json"
 	var out strings.Builder
-	err := run(&out, ts.URL, "fft4", "cpa", "synthetic", "chti", 1, 2, 1, 500*time.Millisecond, 5*time.Second, 40, jsonPath)
+	err := run(&out, opts(ts.URL, 1, 2, 500*time.Millisecond, 40, jsonPath))
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
@@ -107,13 +148,32 @@ func TestRunOpenLoop(t *testing.T) {
 	if s.Mode != "open" || s.OfferedRPS != 40 || s.Requests == 0 || s.P50Ms <= 0 {
 		t.Fatalf("summary %+v not filled", s)
 	}
+	// The intern-rate fields must be present and sane (the second request of
+	// each seed re-uses the interned graph, so rates are nonzero here).
+	if s.InternGraphPct < 0 || s.InternGraphPct > 100 || s.InternTablePct < 0 || s.InternTablePct > 100 {
+		t.Fatalf("intern rates out of range: %+v", s)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	got, err := targets("http://h:1/", "")
+	if err != nil || len(got) != 1 || got[0] != "http://h:1/v1/schedule" {
+		t.Fatalf("targets(url) = %v, %v", got, err)
+	}
+	got, err = targets("ignored", "h1:1, http://h2:2/")
+	if err != nil || len(got) != 2 || got[0] != "http://h1:1/v1/schedule" || got[1] != "http://h2:2/v1/schedule" {
+		t.Fatalf("targets(direct) = %v, %v", got, err)
+	}
+	if _, err := targets("ignored", " , "); err == nil {
+		t.Fatal("empty -direct accepted")
+	}
 }
 
 func TestRunRejectsBadConcurrency(t *testing.T) {
-	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 0, 1, 1, time.Millisecond, time.Second, 0, ""); err == nil {
+	if err := run(&strings.Builder{}, opts("http://localhost:0", 0, 1, time.Millisecond, 0, "")); err == nil {
 		t.Fatal("want error for -c 0")
 	}
-	if err := run(&strings.Builder{}, "http://localhost:0", "fft4", "cpa", "synthetic", "chti", 1, 1, 1, time.Millisecond, time.Second, -5, ""); err == nil {
+	if err := run(&strings.Builder{}, opts("http://localhost:0", 1, 1, time.Millisecond, -5, "")); err == nil {
 		t.Fatal("want error for -rps -5")
 	}
 }

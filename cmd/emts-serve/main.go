@@ -6,7 +6,7 @@
 // Usage:
 //
 //	emts-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 30s]
-//	           [-cache 256] [-max-tasks 20000] [-quiet]
+//	           [-cache 256] [-max-tasks 20000] [-quiet] [-instance id]
 //	           [-graph-entries 64] [-table-entries 128] [-cache-shards 0]
 //	           [-no-intern] [-no-pool] [-no-governor]
 //	           [-pprof addr] [-mutex-profile-fraction 0] [-block-profile-rate 0]
@@ -58,6 +58,7 @@ func main() {
 		maxTasks  = flag.Int("max-tasks", 20000, "largest accepted graph (negative disables)")
 		drainWait = flag.Duration("drain", time.Minute, "shutdown drain budget")
 		quiet     = flag.Bool("quiet", false, "suppress request logs")
+		instance  = flag.String("instance", "", "instance id stamped on responses as X-Emts-Instance (empty omits the header)")
 
 		graphEntries = flag.Int("graph-entries", 0, "interned-graph LRU entries (0 = default 64, negative disables)")
 		tableEntries = flag.Int("table-entries", 0, "interned-table LRU entries (0 = default 128, negative disables)")
@@ -82,6 +83,7 @@ func main() {
 		CacheEntries:     *cache,
 		MaxTasks:         *maxTasks,
 		LogWriter:        logW,
+		InstanceID:       *instance,
 		GraphEntries:     *graphEntries,
 		TableEntries:     *tableEntries,
 		CacheShards:      *cacheShards,

@@ -38,6 +38,15 @@ import (
 // non-positive bound.
 const DefaultEntries = 64
 
+// RawKey is the content key the graph intern derives from raw submitted
+// graph bytes: SHA-256 over the bytes as sent, computable without any
+// decoding. It is exported so the routing tier (internal/route) can shard
+// requests by the exact digest each backend's graph intern will look up —
+// cache affinity holds because both sides hash the same bytes the same way.
+func RawKey(raw []byte) [sha256.Size]byte {
+	return sha256.Sum256(raw)
+}
+
 // GraphEntry is one interned graph: the decoded DAG plus its canonical
 // encoding, shared by every request that submits the same bytes. All fields
 // are read-only after interning.
@@ -92,7 +101,7 @@ func NewGraphs(capacity int) *Graphs {
 // kept in its own hotpath-annotated function so schedlint verifies it stays
 // allocation-free; intern is the cold decode-and-insert path.
 func (c *Graphs) Get(raw []byte) (*GraphEntry, bool, error) {
-	key := sha256.Sum256(raw)
+	key := RawKey(raw)
 	if entry, ok := c.lookup(key); ok {
 		return entry, true, nil
 	}

@@ -1,0 +1,304 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Config parametrizes a Router. Backends is required; everything else has
+// defaults.
+type Config struct {
+	// Backends is the full membership (health decides the effective set).
+	Backends []Backend
+	// Health tunes the /readyz prober.
+	Health HealthConfig
+	// UpstreamTimeout bounds one proxied request (default 2m — above the
+	// backend's own compute deadline, so the backend's 504 wins the race and
+	// reaches the client with its taxonomy intact).
+	UpstreamTimeout time.Duration
+	// MaxRequestBytes bounds a schedule request body (default 8 MiB,
+	// matching the backend's admission limit).
+	MaxRequestBytes int64
+	// MaxIdleConnsPerHost sizes the per-backend connection pool (default 32).
+	// Keeping connections warm matters: every routed request to a backend
+	// reuses the pool for that host, so the steady state is zero dials.
+	MaxIdleConnsPerHost int
+}
+
+func (c Config) withDefaults() Config {
+	if c.UpstreamTimeout <= 0 {
+		c.UpstreamTimeout = 2 * time.Minute
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.MaxIdleConnsPerHost <= 0 {
+		c.MaxIdleConnsPerHost = 32
+	}
+	return c
+}
+
+// Router is the stateless routing tier: an http.Handler that forwards
+// /v1/schedule bodies to the rendezvous choice for their graph digest, and
+// everything else to a round-robin healthy backend. Create with New, expose
+// via Handler, stop with Shutdown.
+type Router struct {
+	cfg     Config
+	checker *Checker
+	client  *http.Client
+	metrics *routerMetrics
+	mux     *http.ServeMux
+
+	inflight sync.WaitGroup
+	draining atomic.Bool
+	rr       atomic.Uint64
+}
+
+// New builds the router and starts its health checker.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	checker, err := NewChecker(cfg.Backends, cfg.Health)
+	if err != nil {
+		return nil, err
+	}
+	transport := &http.Transport{
+		// The backend set is tiny and fixed, so cap the pool per host, not
+		// globally, and keep idle connections around for the full keep-alive
+		// window: the hot path must not redial.
+		MaxIdleConns:        cfg.MaxIdleConnsPerHost * (len(cfg.Backends) + 1),
+		MaxIdleConnsPerHost: cfg.MaxIdleConnsPerHost,
+		IdleConnTimeout:     90 * time.Second,
+		// No decompression or caching surprises between tiers.
+		DisableCompression: true,
+	}
+	r := &Router{
+		cfg:     cfg,
+		checker: checker,
+		client:  &http.Client{Transport: transport, Timeout: cfg.UpstreamTimeout},
+		metrics: newRouterMetrics(checker),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", r.handleSchedule)
+	mux.HandleFunc("GET /healthz", r.handleHealthz)
+	mux.HandleFunc("GET /readyz", r.handleReadyz)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	mux.HandleFunc("/", r.handleForwardAny)
+	r.mux = mux
+	return r, nil
+}
+
+// Handler returns the router's HTTP surface.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Table exposes the current healthy snapshot (diagnostics and tests).
+func (r *Router) Table() *Table { return r.checker.Table() }
+
+// Checker exposes the health checker (tests).
+func (r *Router) Checker() *Checker { return r.checker }
+
+// Shutdown drains the router: readiness flips to 503, the health checker
+// stops, and in-flight proxied requests run to completion (bounded by ctx).
+func (r *Router) Shutdown(ctx context.Context) error {
+	r.draining.Store(true)
+	r.checker.Stop()
+	done := make(chan struct{})
+	go func() {
+		r.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		r.client.CloseIdleConnections()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("route: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// handleSchedule routes one schedule request by graph digest.
+func (r *Router) handleSchedule(w http.ResponseWriter, req *http.Request) {
+	r.inflight.Add(1)
+	defer r.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	// The routing key is the exact digest the backend's graph intern keys on
+	// (intern.RawKey over the raw graph bytes). ErrNoGraph falls back to a
+	// whole-body digest: still deterministic, and the chosen backend owns
+	// the 400.
+	key, _ := RequestKey(body)
+
+	// One table snapshot per request: membership changes mid-flight never
+	// split a request's pick/retry pair across two views.
+	table := r.checker.Table()
+	backend, ok := table.Pick(key[:], "")
+	if !ok {
+		r.metrics.noBackend.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrNoBackends.Error())
+		return
+	}
+
+	resp, start, err := r.forward(req, backend, body)
+	if err != nil && retriable(err) {
+		// Connection refused: the process is gone right now, faster than the
+		// prober can notice. Replay once onto the next rendezvous choice —
+		// exactly the backend a table without the dead member would pick.
+		if next, ok2 := table.Pick(key[:], backend.ID); ok2 {
+			r.metrics.retries.Add(1)
+			r.metrics.observe(backend.ID, -1, 0, "", "")
+			backend = next
+			resp, start, err = r.forward(req, backend, body)
+		}
+	}
+	r.finish(w, backend, resp, start, err)
+}
+
+// handleForwardAny proxies non-schedule traffic (e.g. GET /v1/algorithms) to
+// a round-robin healthy backend: these answers are backend-independent.
+func (r *Router) handleForwardAny(w http.ResponseWriter, req *http.Request) {
+	r.inflight.Add(1)
+	defer r.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	table := r.checker.Table()
+	n := table.Len()
+	if n == 0 {
+		r.metrics.noBackend.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrNoBackends.Error())
+		return
+	}
+	backend := table.backends[int(r.rr.Add(1))%n]
+	resp, start, err := r.forward(req, backend, body)
+	if err != nil && retriable(err) && n > 1 {
+		next := table.backends[int(r.rr.Add(1))%n]
+		if next.ID != backend.ID {
+			r.metrics.retries.Add(1)
+			r.metrics.observe(backend.ID, -1, 0, "", "")
+			backend = next
+			resp, start, err = r.forward(req, backend, body)
+		}
+	}
+	r.finish(w, backend, resp, start, err)
+}
+
+// forward sends one upstream request and returns the undrained response plus
+// the instant the attempt started (for latency accounting in finish).
+func (r *Router) forward(req *http.Request, b Backend, body []byte) (*http.Response, time.Time, error) {
+	up, err := http.NewRequestWithContext(req.Context(), req.Method, b.URL+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, time.Time{}, err
+	}
+	copyHeader(up.Header, req.Header, "Content-Type")
+	copyHeader(up.Header, req.Header, "Accept")
+	copyHeader(up.Header, req.Header, "X-Request-Id")
+	start := time.Now()
+	resp, err := r.client.Do(up)
+	return resp, start, err
+}
+
+// finish relays the upstream verdict to the client and records metrics.
+func (r *Router) finish(w http.ResponseWriter, b Backend, resp *http.Response, start time.Time, err error) {
+	if err != nil {
+		r.metrics.observe(b.ID, -1, 0, "", "")
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, "upstream deadline exceeded")
+			return
+		}
+		writeError(w, http.StatusBadGateway, "upstream unreachable: "+b.ID)
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	copyHeader(h, resp.Header, "Content-Type")
+	copyHeader(h, resp.Header, "X-Emts-Cache")
+	copyHeader(h, resp.Header, "X-Emts-Interned")
+	copyHeader(h, resp.Header, "X-Emts-Instance")
+	copyHeader(h, resp.Header, "X-Request-Id")
+	copyHeader(h, resp.Header, "Retry-After")
+	h.Set("X-Emts-Backend", b.ID)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	r.metrics.observe(b.ID, resp.StatusCode, time.Since(start).Seconds(),
+		resp.Header.Get("X-Emts-Cache"), resp.Header.Get("X-Emts-Interned"))
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz mirrors the backend contract: 200 while routable, 503 when
+// draining or when the healthy set is empty, JSON detail either way.
+func (r *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	healthy := r.checker.Table().Len()
+	code := http.StatusOK
+	if r.draining.Load() || healthy == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"draining\":%v,\"healthy_backends\":%d,\"backends\":%d}\n",
+		r.draining.Load(), healthy, len(r.cfg.Backends))
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.metrics.WriteTo(w)
+}
+
+// retriable reports whether a forward error is safe to replay on another
+// backend: only connection refusals qualify (the request never reached a
+// handler, so replaying cannot double-execute side effects; scheduling is
+// idempotent anyway, but refusal keeps the rule conservative).
+func retriable(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
+	var opErr *net.OpError
+	return errors.As(err, &opErr) && opErr.Op == "dial"
+}
+
+// copyHeader copies one header key when present.
+func copyHeader(dst, src http.Header, key string) {
+	if v := src.Get(key); v != "" {
+		dst.Set(key, v)
+	}
+}
+
+// writeError emits the router's JSON error shape (same field name as the
+// backend's, so clients parse one format).
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	w.Write(append(b, '\n'))
+}
+
+// Healthy reports per-backend verdicts (used by cmd/emts-router logs).
+func (r *Router) Healthy() map[string]bool { return r.checker.Healthy() }

@@ -74,6 +74,10 @@ type Config struct {
 	MaxRequestBytes int64
 	// LogWriter receives JSON-line request logs (nil disables logging).
 	LogWriter io.Writer
+	// InstanceID, when non-empty, is stamped on every response as the
+	// X-Emts-Instance header. The routing tier's tests and smoke harness use
+	// it to assert which backend actually served a request.
+	InstanceID string
 	// GraphEntries bounds the interned-graph LRU (default 64; negative
 	// disables graph interning).
 	GraphEntries int
@@ -268,6 +272,9 @@ func (s *Server) Handler() http.Handler {
 		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		rec.Header().Set("X-Request-Id", id)
+		if s.cfg.InstanceID != "" {
+			rec.Header().Set("X-Emts-Instance", s.cfg.InstanceID)
+		}
 		start := time.Now()
 		s.mux.ServeHTTP(rec, r.WithContext(withRequestID(r.Context(), id)))
 		s.metrics.countRequest(rec.code)
@@ -534,12 +541,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeText(w, http.StatusOK, "ok\n")
 }
 
+// handleReadyz keeps the PR 4 status-code contract (200 ready, 503
+// draining) and adds a small JSON detail body consumed by the routing
+// tier's health checker: the draining flag plus the queue depth and
+// in-flight gauge, so an operator (or a future load-aware router) can see
+// saturation without scraping the full metrics page.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
-		writeText(w, http.StatusServiceUnavailable, "draining\n")
-		return
+	code := http.StatusOK
+	draining := !s.ready.Load()
+	if draining {
+		code = http.StatusServiceUnavailable
 	}
-	writeText(w, http.StatusOK, "ready\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"draining\":%v,\"queue_depth\":%d,\"inflight\":%d}\n",
+		draining, len(s.queue), s.metrics.inflight.Load())
 }
 
 func writeText(w http.ResponseWriter, code int, body string) {

@@ -399,6 +399,87 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+// TestReadyzJSONBody pins the routing-tier contract: /readyz keeps the
+// 200/503 status codes and carries the JSON detail the router's health
+// checker consumes.
+func TestReadyzJSONBody(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("readyz Content-Type %q", ct)
+	}
+	var rb struct {
+		Draining   *bool `json:"draining"`
+		QueueDepth *int  `json:"queue_depth"`
+		Inflight   *int  `json:"inflight"`
+	}
+	if err := json.Unmarshal(body, &rb); err != nil {
+		t.Fatalf("readyz body %q: %v", body, err)
+	}
+	if rb.Draining == nil || rb.QueueDepth == nil || rb.Inflight == nil {
+		t.Fatalf("readyz body %q missing fields", body)
+	}
+	if *rb.Draining {
+		t.Fatal("fresh server reports draining")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d, want 503", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &rb); err != nil || rb.Draining == nil || !*rb.Draining {
+		t.Fatalf("drained readyz body %q (err %v)", body, err)
+	}
+}
+
+// TestInstanceHeader pins that a configured instance ID reaches every
+// response (the routing tier asserts correctness through it) and that an
+// unconfigured server omits the header.
+func TestInstanceHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, InstanceID: "backend-7"})
+	for _, ep := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if got := resp.Header.Get("X-Emts-Instance"); got != "backend-7" {
+			t.Fatalf("%s: X-Emts-Instance %q, want backend-7", ep, got)
+		}
+	}
+	resp := post(t, ts.URL, scheduleBody(t, "cpa", 1))
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Emts-Instance"); got != "backend-7" {
+		t.Fatalf("schedule: X-Emts-Instance %q, want backend-7", got)
+	}
+
+	_, plain := newTestServer(t, Config{Workers: 1})
+	resp2, err := http.Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp2)
+	if got := resp2.Header.Get("X-Emts-Instance"); got != "" {
+		t.Fatalf("unconfigured server stamped X-Emts-Instance %q", got)
+	}
+}
+
 func TestHealthAndMetricsEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	for _, ep := range []string{"/healthz", "/readyz"} {

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"emts/internal/core"
+	"emts/internal/ea"
 	"emts/internal/model"
 	"emts/internal/platform"
 )
@@ -72,6 +73,77 @@ func TestBatchSwitchLatticeDeterminism(t *testing.T) {
 						ctx, useRejection, !p.DisableBatch, !p.DisableDelta, !p.DisableCache,
 						got.PrefilterRejections, want.PrefilterRejections)
 				}
+			}
+		}
+	}
+}
+
+// TestBatchObserverTransparency pins the async job subsystem's zero-cost
+// contract (PR 9): attaching an OnGeneration observer — the hook the SSE
+// progress stream feeds from — must be invisible to the optimization. The
+// observed run is bit-identical to the unobserved one, the callback fires
+// exactly once per completed generation, and the streamed snapshots agree
+// with the final result (incumbent fitness and cumulative counters). Runs
+// under the TestBatch race step at GOMAXPROCS 1 and 8, so the once-per-
+// generation callback point is exercised in both dispatch regimes.
+func TestBatchObserverTransparency(t *testing.T) {
+	for _, g := range determinismGraphs(t) {
+		tab, err := model.NewTable(g, model.Synthetic{}, platform.Grelon())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := core.EMTS5(42)
+		base.UseRejection = true
+		want, err := core.Run(g, tab, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var stats []ea.GenStats
+		p := core.EMTS5(42)
+		p.UseRejection = true
+		p.OnGeneration = func(gs ea.GenStats) { stats = append(stats, gs) }
+		got, err := core.Run(g, tab, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ctx := g.Name()
+		if got.Makespan != want.Makespan ||
+			!reflect.DeepEqual(got.Alloc, want.Alloc) ||
+			!reflect.DeepEqual(got.History, want.History) ||
+			got.Evaluations != want.Evaluations ||
+			got.Rejections != want.Rejections ||
+			got.CacheHits != want.CacheHits ||
+			got.PrefilterRejections != want.PrefilterRejections {
+			t.Errorf("%s: observed run diverged from unobserved baseline (makespan %g vs %g)",
+				ctx, got.Makespan, want.Makespan)
+		}
+		if len(stats) != got.Generations {
+			t.Fatalf("%s: %d OnGeneration callbacks for %d generations", ctx, len(stats), got.Generations)
+		}
+		for i, gs := range stats {
+			if gs.Generation != i {
+				t.Fatalf("%s: callback %d reported generation %d", ctx, i, gs.Generation)
+			}
+		}
+		last := stats[len(stats)-1]
+		if last.BestEver != got.Makespan {
+			t.Errorf("%s: last streamed BestEver %g != final makespan %g — the anytime/SSE contract",
+				ctx, last.BestEver, got.Makespan)
+		}
+		if last.Evaluations != got.Evaluations ||
+			last.CacheHits != got.CacheHits ||
+			last.PrefilterRejections != got.PrefilterRejections {
+			t.Errorf("%s: last snapshot counters (evals %d, cache %d, prefilter %d) != final result (%d, %d, %d)",
+				ctx, last.Evaluations, last.CacheHits, last.PrefilterRejections,
+				got.Evaluations, got.CacheHits, got.PrefilterRejections)
+		}
+		// BestEver is non-increasing by plus-selection, mirroring History.
+		for i := 1; i < len(stats); i++ {
+			if stats[i].BestEver > stats[i-1].BestEver {
+				t.Fatalf("%s: BestEver increased at generation %d (%g -> %g)",
+					ctx, i, stats[i-1].BestEver, stats[i].BestEver)
 			}
 		}
 	}

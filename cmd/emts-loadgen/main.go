@@ -8,7 +8,7 @@
 //	             [-c 4] [-duration 10s]
 //	             [-graphs fft8,strassen,random50] [-algo emts5]
 //	             [-model synthetic] [-cluster chti] [-seeds 8] [-seed 1]
-//	             [-rps 0] [-json file]
+//	             [-rps 0] [-jobs] [-cancel-at 0] [-json file]
 //
 // The default mode is closed-loop: each of the c workers keeps exactly one
 // request in flight, so offered load adapts to service capacity instead of
@@ -31,11 +31,22 @@
 // interned/cache hit rates and per-instance counts (X-Emts-Instance) make
 // the comparison directly readable.
 //
+// -jobs switches to the async job API: each worker submits POST /v1/jobs
+// (unique seed per submission, so the idempotency key never dedups),
+// subscribes to the job's SSE event stream, counts per-generation progress
+// events, and fetches the final result. With -cancel-at G every second job
+// is cancelled (DELETE) once its stream reaches generation G, exercising the
+// anytime path: the report counts how many cancelled jobs returned an
+// incumbent whose makespan equals the last streamed best_makespan
+// (anytime_ok), and how many completed jobs streamed exactly one generation
+// event per generation in the final result (sse_match/sse_mismatch).
+//
 // -json FILE additionally writes the machine-readable summary to FILE
 // ("-" = stdout) for benchmark harnesses and CI gates.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -48,6 +59,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"emts/internal/dag"
@@ -70,6 +82,8 @@ func main() {
 		timeout  = flag.Duration("timeout", time.Minute, "per-request client timeout")
 		rps      = flag.Float64("rps", 0, "open-loop fixed request rate (0 = closed loop with -c workers)")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file (\"-\" = stdout)")
+		jobs     = flag.Bool("jobs", false, "exercise the async job API (submit, SSE subscribe, result) instead of /v1/schedule")
+		cancelAt = flag.Int("cancel-at", 0, "with -jobs: cancel every second job once its SSE stream reaches this generation (0 = never)")
 	)
 	flag.Parse()
 	opts := loadOpts{
@@ -86,6 +100,8 @@ func main() {
 		timeout:  *timeout,
 		rps:      *rps,
 		jsonOut:  *jsonOut,
+		jobs:     *jobs,
+		cancelAt: *cancelAt,
 	}
 	if err := run(os.Stdout, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-loadgen:", err)
@@ -109,6 +125,8 @@ type loadOpts struct {
 	timeout  time.Duration
 	rps      float64
 	jsonOut  string
+	jobs     bool
+	cancelAt int
 }
 
 // buildBodies pre-marshals every request body: workloads × seeds. Marshaling
@@ -241,6 +259,9 @@ func run(out io.Writer, o loadOpts) error {
 	}
 	if o.rps < 0 {
 		return fmt.Errorf("-rps %g, want >= 0", o.rps)
+	}
+	if o.jobs {
+		return runJobsMode(out, o)
 	}
 	bodies, err := buildBodies(o.graphs, o.algo, o.model, o.cluster, o.seeds, o.seed)
 	if err != nil {
@@ -483,6 +504,436 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 			_, err = out.Write(b)
 		} else {
 			err = os.WriteFile(jsonOut, b, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("writing -json summary: %w", err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Async job mode (-jobs)
+
+// jobsResult aggregates one jobs-mode worker's observations.
+type jobsResult struct {
+	submitted   int
+	completed   int             // state "done"
+	cancelled   int             // state "cancelled-with-result" (anytime answers)
+	aborted     int             // state "cancelled" (never started, no incumbent)
+	failed      int             // state "failed"
+	anytimeOK   int             // cancelled jobs whose result makespan == last streamed best_makespan
+	genEvents   int             // SSE generation events seen across all jobs
+	generations int             // generations reported by final results
+	sseMatch    int             // completed jobs with one generation event per generation
+	sseMismatch int             // completed jobs where the counts diverge
+	latencies   []time.Duration // submit -> done-event latency per finished job
+	codes       map[int]int     // HTTP status codes of every request issued
+	firstErr    error
+}
+
+// jobEnvelope is the client-side view of the /v1/jobs status body.
+type jobEnvelope struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+}
+
+// genEvent is the client-side view of an SSE "generation" event payload.
+type genEvent struct {
+	Generation   int     `json:"generation"`
+	BestMakespan float64 `json:"best_makespan"`
+}
+
+// doneEvent is the client-side view of the terminal SSE "done" payload.
+type doneEvent struct {
+	State string `json:"state"`
+	Code  int    `json:"code"`
+}
+
+// jobFinal is the slice of the final schedule response jobs mode checks.
+type jobFinal struct {
+	Makespan    float64 `json:"makespan"`
+	Generations int     `json:"generations"`
+}
+
+// runJobsMode drives the async job API: conc closed-loop workers, each
+// iteration submitting one job with a globally unique seed (so the
+// idempotency key never collapses two submissions into one job), following
+// its SSE stream to the terminal event, and fetching the result. With
+// cancelAt > 0 every second job is cancelled once its stream reaches that
+// generation, which exercises the anytime path end to end.
+func runJobsMode(out io.Writer, o loadOpts) error {
+	if o.direct != "" {
+		return fmt.Errorf("-jobs drives one front end; use -url, not -direct")
+	}
+	base := strings.TrimSuffix(o.url, "/")
+	var graphsRaw []json.RawMessage
+	for _, spec := range strings.Split(o.graphs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		g, err := generate(spec, o.seed)
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(g)
+		if err != nil {
+			return err
+		}
+		graphsRaw = append(graphsRaw, raw)
+	}
+	if len(graphsRaw) == 0 {
+		return fmt.Errorf("no workloads in -graphs")
+	}
+	client := &http.Client{Timeout: o.timeout}
+	// SSE streams live as long as the job runs; a client timeout would cut
+	// them mid-run, so the streaming client has none (the server closes the
+	// stream after the terminal event).
+	sseClient := &http.Client{}
+
+	deadline := time.Now().Add(o.duration)
+	var counter atomic.Int64
+	results := make([]jobsResult, o.conc)
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := jobsResult{codes: make(map[int]int)}
+			for time.Now().Before(deadline) {
+				n := counter.Add(1)
+				req := server.ScheduleRequest{
+					Graph:     graphsRaw[int(n)%len(graphsRaw)],
+					Cluster:   server.ClusterSpec{Preset: o.cluster},
+					Model:     o.model,
+					Algorithm: o.algo,
+					Seed:      o.seed + n,
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					if res.firstErr == nil {
+						res.firstErr = err
+					}
+					break
+				}
+				cancelGen := 0
+				if o.cancelAt > 0 && n%2 == 1 {
+					cancelGen = o.cancelAt
+				}
+				runOneJob(&res, client, sseClient, base, body, cancelGen)
+			}
+			results[w] = res
+		}(w)
+	}
+	wg.Wait()
+	return reportJobs(out, results, o)
+}
+
+// runOneJob submits one job and follows it to a terminal state, folding
+// every observation into res.
+func runOneJob(res *jobsResult, client, sseClient *http.Client, base string, body []byte, cancelGen int) {
+	start := time.Now()
+	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		if res.firstErr == nil {
+			res.firstErr = err
+		}
+		res.codes[-1]++
+		return
+	}
+	var env jobEnvelope
+	decErr := json.NewDecoder(resp.Body).Decode(&env)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	res.codes[resp.StatusCode]++
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// Job store or queue full: closed-loop backoff, mirroring the sync mode.
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			time.Sleep(time.Duration(ra) * time.Second / 4)
+		}
+		return
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return
+	}
+	if decErr != nil || env.ID == "" {
+		if res.firstErr == nil {
+			res.firstErr = fmt.Errorf("submit: undecodable envelope (status %d): %v", resp.StatusCode, decErr)
+		}
+		return
+	}
+	res.submitted++
+
+	gens, lastBest, done, err := followEvents(res, client, sseClient, base, env.ID, cancelGen)
+	if err != nil {
+		if res.firstErr == nil {
+			res.firstErr = err
+		}
+		return
+	}
+	res.latencies = append(res.latencies, time.Since(start))
+	res.genEvents += gens
+
+	final, finalOK := fetchResult(res, client, base, env.ID)
+	switch done.State {
+	case "done":
+		res.completed++
+		if finalOK {
+			res.generations += final.Generations
+			if gens == final.Generations {
+				res.sseMatch++
+			} else {
+				res.sseMismatch++
+			}
+		}
+	case "cancelled-with-result":
+		res.cancelled++
+		if finalOK {
+			res.generations += final.Generations
+			//schedlint:allow floateq -- the anytime contract is exact: both values are the same float64 serialized by the server, so any difference is a real bug an epsilon would hide
+			if final.Makespan == lastBest {
+				res.anytimeOK++
+			}
+			// The anytime run also streamed one event per completed generation.
+			if gens == final.Generations {
+				res.sseMatch++
+			} else {
+				res.sseMismatch++
+			}
+		}
+	case "cancelled":
+		res.aborted++
+	default:
+		res.failed++
+	}
+	// The job is terminal and fully consumed: release its store slot so a
+	// long closed loop doesn't exhaust the bounded job store with
+	// already-read results.
+	cancelJob(res, client, base, env.ID, true)
+}
+
+// followEvents subscribes to a job's SSE stream, counts generation events,
+// and returns after the terminal "done" event. When cancelGen > 0 it issues
+// the DELETE as soon as the stream reaches that generation — the cancel is
+// observed by the EA at its next generation boundary, so a few more
+// generation events may (correctly) arrive before the terminal one.
+func followEvents(res *jobsResult, client, sseClient *http.Client, base, id string, cancelGen int) (gens int, lastBest float64, done doneEvent, err error) {
+	resp, err := sseClient.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		res.codes[-1]++
+		return 0, 0, done, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	res.codes[resp.StatusCode]++
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, done, fmt.Errorf("events: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var event, data string
+	cancelSent := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // blank line terminates one event
+			switch event {
+			case "generation":
+				var ge genEvent
+				if err := json.Unmarshal([]byte(data), &ge); err == nil {
+					gens++
+					lastBest = ge.BestMakespan
+					if cancelGen > 0 && !cancelSent && ge.Generation >= cancelGen {
+						cancelSent = true
+						cancelJob(res, client, base, id, false)
+					}
+				}
+			case "done":
+				json.Unmarshal([]byte(data), &done)
+				return gens, lastBest, done, nil
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, ":"): // keep-alive comment
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return gens, lastBest, done, fmt.Errorf("events: stream: %w", err)
+	}
+	return gens, lastBest, done, fmt.Errorf("events: stream ended without done event")
+}
+
+// cancelJob issues the DELETE inline from the SSE read loop. The handler
+// waits for the job to reach a terminal state, which happens once the EA
+// observes the cancel — independent of this client reading events. The pause
+// loses nothing: the event log buffers server-side and the stream replays
+// every event up to the terminal one after the DELETE returns. With purge
+// the DELETE also releases the job's store slot once terminal.
+func cancelJob(res *jobsResult, client *http.Client, base, id string, purge bool) {
+	url := base + "/v1/jobs/" + id
+	if purge {
+		url += "?purge=1"
+	}
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		res.codes[-1]++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	res.codes[resp.StatusCode]++
+}
+
+// fetchResult reads the job's final response body and extracts the fields
+// the mode verifies. ok is false when there is no 200 result (e.g. a job
+// cancelled before it started).
+func fetchResult(res *jobsResult, client *http.Client, base, id string) (jobFinal, bool) {
+	resp, err := client.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		if res.firstErr == nil {
+			res.firstErr = err
+		}
+		res.codes[-1]++
+		return jobFinal{}, false
+	}
+	defer resp.Body.Close()
+	res.codes[resp.StatusCode]++
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return jobFinal{}, false
+	}
+	var final jobFinal
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		if res.firstErr == nil {
+			res.firstErr = fmt.Errorf("result: undecodable body: %w", err)
+		}
+		return jobFinal{}, false
+	}
+	io.Copy(io.Discard, resp.Body)
+	return final, true
+}
+
+// jobsSummary is the machine-readable report written by -json in jobs mode.
+type jobsSummary struct {
+	Mode        string         `json:"mode"` // "jobs"
+	Submitted   int            `json:"jobs_submitted"`
+	Completed   int            `json:"jobs_completed"`
+	Cancelled   int            `json:"jobs_cancelled"` // cancelled-with-result
+	Aborted     int            `json:"jobs_cancelled_unstarted"`
+	Failed      int            `json:"jobs_failed"`
+	AnytimeOK   int            `json:"anytime_ok"`
+	SSEEvents   int            `json:"sse_generation_events"`
+	Generations int            `json:"generations"`
+	SSEMatch    int            `json:"sse_match"`
+	SSEMismatch int            `json:"sse_mismatch"`
+	Codes       map[string]int `json:"codes"`
+	P50Ms       float64        `json:"p50_ms"`
+	P95Ms       float64        `json:"p95_ms"`
+	MaxMs       float64        `json:"max_ms"`
+}
+
+func reportJobs(out io.Writer, results []jobsResult, o loadOpts) error {
+	var agg jobsResult
+	agg.codes = make(map[int]int)
+	var all []time.Duration
+	for _, r := range results {
+		agg.submitted += r.submitted
+		agg.completed += r.completed
+		agg.cancelled += r.cancelled
+		agg.aborted += r.aborted
+		agg.failed += r.failed
+		agg.anytimeOK += r.anytimeOK
+		agg.genEvents += r.genEvents
+		agg.generations += r.generations
+		agg.sseMatch += r.sseMatch
+		agg.sseMismatch += r.sseMismatch
+		all = append(all, r.latencies...)
+		for c, n := range r.codes {
+			agg.codes[c] += n
+		}
+		if agg.firstErr == nil {
+			agg.firstErr = r.firstErr
+		}
+	}
+	fmt.Fprintf(out, "jobs:       %d submitted in %s: %d done, %d cancelled-with-result, %d cancelled, %d failed\n",
+		agg.submitted, o.duration, agg.completed, agg.cancelled, agg.aborted, agg.failed)
+	fmt.Fprintf(out, "anytime:    %d/%d cancelled jobs returned the streamed incumbent\n", agg.anytimeOK, agg.cancelled)
+	fmt.Fprintf(out, "sse:        %d generation events; %d jobs matched their generation count, %d mismatched\n",
+		agg.genEvents, agg.sseMatch, agg.sseMismatch)
+	codeList := make([]int, 0, len(agg.codes))
+	for c := range agg.codes {
+		codeList = append(codeList, c)
+	}
+	sort.Ints(codeList)
+	for _, c := range codeList {
+		label := strconv.Itoa(c)
+		if c == -1 {
+			label = "transport error"
+		}
+		fmt.Fprintf(out, "  %-16s %d\n", label, agg.codes[c])
+	}
+	if agg.submitted == 0 {
+		if agg.firstErr != nil {
+			return fmt.Errorf("no jobs submitted (first error: %v)", agg.firstErr)
+		}
+		return fmt.Errorf("no jobs submitted")
+	}
+	if agg.firstErr != nil {
+		fmt.Fprintf(out, "first error: %v\n", agg.firstErr)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		fmt.Fprintf(out, "job latency: p50 %s  p95 %s  max %s\n",
+			percentile(all, 0.50), percentile(all, 0.95), all[len(all)-1])
+	}
+
+	if o.jsonOut != "" {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		s := jobsSummary{
+			Mode:        "jobs",
+			Submitted:   agg.submitted,
+			Completed:   agg.completed,
+			Cancelled:   agg.cancelled,
+			Aborted:     agg.aborted,
+			Failed:      agg.failed,
+			AnytimeOK:   agg.anytimeOK,
+			SSEEvents:   agg.genEvents,
+			Generations: agg.generations,
+			SSEMatch:    agg.sseMatch,
+			SSEMismatch: agg.sseMismatch,
+			Codes:       make(map[string]int, len(agg.codes)),
+		}
+		if len(all) > 0 {
+			s.P50Ms = ms(percentile(all, 0.50))
+			s.P95Ms = ms(percentile(all, 0.95))
+			s.MaxMs = ms(all[len(all)-1])
+		}
+		for c, n := range agg.codes {
+			label := strconv.Itoa(c)
+			if c == -1 {
+				label = "transport_error"
+			}
+			s.Codes[label] = n
+		}
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if o.jsonOut == "-" {
+			_, err = out.Write(b)
+		} else {
+			err = os.WriteFile(o.jsonOut, b, 0o644)
 		}
 		if err != nil {
 			return fmt.Errorf("writing -json summary: %w", err)

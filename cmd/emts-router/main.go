@@ -19,6 +19,11 @@
 // Endpoints:
 //
 //	POST /v1/schedule  routed by graph digest (retry-once on connection refused)
+//	POST /v1/jobs      async submit, routed by the same graph digest
+//	     /v1/jobs/...  polls, results, SSE event streams (unbuffered
+//	                   pass-through), and cancels, routed by the graph digest
+//	                   embedded in the job id — the backend that ran the
+//	                   submit owns every later request for that job
 //	GET  /healthz      router liveness
 //	GET  /readyz       routability (503 while draining or no healthy backends)
 //	GET  /metrics      per-backend counters, latency histograms, ejections,

@@ -8,6 +8,7 @@
 //	emts-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 30s]
 //	           [-cache 256] [-max-tasks 20000] [-quiet] [-instance id]
 //	           [-graph-entries 64] [-table-entries 128] [-cache-shards 0]
+//	           [-max-jobs 256] [-job-ttl 10m] [-sse-keepalive 15s]
 //	           [-no-intern] [-no-pool] [-no-governor]
 //	           [-pprof addr] [-mutex-profile-fraction 0] [-block-profile-rate 0]
 //
@@ -21,11 +22,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule   schedule a PTG (see README "Serving" for the body)
-//	GET  /v1/algorithms list accepted algorithm and model names
-//	GET  /healthz       liveness
-//	GET  /readyz        readiness (503 while draining)
-//	GET  /metrics       Prometheus text metrics
+//	POST   /v1/schedule          schedule a PTG (see README "Serving")
+//	POST   /v1/jobs              submit an async job (same body; 202 + id)
+//	GET    /v1/jobs/{id}         poll job status/result
+//	GET    /v1/jobs/{id}/result  the raw final response (byte-identical to
+//	                             the synchronous answer)
+//	GET    /v1/jobs/{id}/events  SSE per-generation progress stream
+//	DELETE /v1/jobs/{id}         cancel; mid-run returns the incumbent as a
+//	                             "cancelled-with-result" anytime answer
+//	GET    /v1/algorithms        list accepted algorithm and model names
+//	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 while draining)
+//	GET    /metrics              Prometheus text metrics
 //
 // SIGINT/SIGTERM initiate a graceful shutdown: readiness flips to 503,
 // queued requests finish, then the listener closes.
@@ -63,6 +71,9 @@ func main() {
 		graphEntries = flag.Int("graph-entries", 0, "interned-graph LRU entries (0 = default 64, negative disables)")
 		tableEntries = flag.Int("table-entries", 0, "interned-table LRU entries (0 = default 128, negative disables)")
 		cacheShards  = flag.Int("cache-shards", 0, "fitness memo cache shards per run (0 = auto)")
+		maxJobs      = flag.Int("max-jobs", 0, "async job store bound (0 = default 256, negative disables /v1/jobs)")
+		jobTTL       = flag.Duration("job-ttl", 0, "finished-job retention for polling and SSE replay (0 = default 10m)")
+		sseKeepalive = flag.Duration("sse-keepalive", 0, "SSE keep-alive comment period (0 = default 15s)")
 		noIntern     = flag.Bool("no-intern", false, "disable graph/table interning (A/B switch)")
 		noPool       = flag.Bool("no-pool", false, "disable the shared Mapper pool (A/B switch)")
 		noGovernor   = flag.Bool("no-governor", false, "disable the CPU governor (A/B switch)")
@@ -87,6 +98,9 @@ func main() {
 		GraphEntries:     *graphEntries,
 		TableEntries:     *tableEntries,
 		CacheShards:      *cacheShards,
+		MaxJobs:          *maxJobs,
+		JobTTL:           *jobTTL,
+		SSEKeepAlive:     *sseKeepalive,
 		DisableInterning: *noIntern,
 		DisablePooling:   *noPool,
 		DisableGovernor:  *noGovernor,

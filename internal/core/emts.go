@@ -169,6 +169,10 @@ type Result struct {
 	// lower-bound prefilter instead of the map loop (see
 	// ea.Result.PrefilterRejections) — map loops skipped entirely.
 	PrefilterRejections int
+	// Generations counts the EA generations actually completed (see
+	// ea.Result.Generations). It is smaller than Params.Generations when the
+	// run was cancelled mid-flight and the Result is the anytime incumbent.
+	Generations int
 }
 
 // BestSeedMakespan returns the smallest makespan among successful starting
@@ -195,6 +199,15 @@ func Run(g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 // optimization stops within one generation of ctx being cancelled or its
 // deadline passing. Cancellation never perturbs results — a run that
 // completes is bit-identical to the same seed without a context.
+//
+// A cancellation after the EA's initial evaluation returns the partial
+// Result alongside the context error: the incumbent allocation is
+// materialized into a fully validated schedule exactly like a completed
+// run's, and Result.Generations records how many generations finished —
+// the anytime contract of the (μ+λ) plus-strategy (paper §III: the
+// population never worsens, so every intermediate best is a valid answer).
+// Callers distinguish the cases by (res, err): complete (res, nil), anytime
+// partial (res, ctx error), nothing usable (nil, err).
 func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (*Result, error) {
 	if g.NumTasks() == 0 {
 		return nil, errors.New("emts: empty graph")
@@ -399,14 +412,18 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		InitialSigma:          p.InitialSigma,
 		OnGeneration:          p.OnGeneration,
 	}
-	run, err := ea.RunContext(ctx, cfg, g.NumTasks(), procs, seedAllocs, fitness)
-	if err != nil {
-		return nil, err
+	run, runErr := ea.RunContext(ctx, cfg, g.NumTasks(), procs, seedAllocs, fitness)
+	if run == nil {
+		// Hard failure or a cancellation before the initial evaluation:
+		// nothing usable to materialize.
+		return nil, runErr
 	}
 
 	// Materialize the best schedule on the seed Mapper instead of the one-shot
 	// package function: Mapper results are bit-identical to listsched.Map, and
-	// reusing the arena saves a full Mapper construction per run.
+	// reusing the arena saves a full Mapper construction per run. The same
+	// path materializes the incumbent of a cancelled run (runErr non-nil),
+	// so an anytime answer passes the exact validation a completed one does.
 	sched, err := seedMapper.Map(run.Best.Alloc)
 	if err != nil {
 		return nil, fmt.Errorf("emts: mapping best allocation: %w", err)
@@ -419,5 +436,6 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 	res.Rejections = run.Rejections
 	res.CacheHits = run.CacheHits
 	res.PrefilterRejections = run.PrefilterRejections
-	return res, nil
+	res.Generations = run.Generations
+	return res, runErr
 }

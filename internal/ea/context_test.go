@@ -40,6 +40,52 @@ func TestRunContextStopsWithinOneGeneration(t *testing.T) {
 	}
 }
 
+// TestRunContextPartialResultOnCancel asserts the anytime contract: a
+// mid-run cancellation returns the incumbent alongside context.Canceled, and
+// the partial result is exactly the prefix of the uncancelled run — same
+// incumbent fitness as the last OnGeneration callback, one history entry per
+// completed generation, Generations counting them.
+func TestRunContextPartialResultOnCancel(t *testing.T) {
+	fit := sphereFitness(schedule.Ones(8))
+	ctx, cancel := context.WithCancel(context.Background())
+	var last GenStats
+	cfg := defaultConfig(11)
+	cfg.OnGeneration = func(gs GenStats) {
+		last = gs
+		if gs.Generation == 1 {
+			cancel()
+		}
+	}
+	res, err := RunContext(ctx, cfg, 8, 8, nil, fit)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Generations != 2 {
+		t.Fatalf("Generations = %d, want 2", res.Generations)
+	}
+	if res.Best.Alloc == nil {
+		t.Fatal("partial result has no incumbent allocation")
+	}
+	if res.Best.Fitness != last.BestEver {
+		t.Fatalf("incumbent fitness %v != last observed BestEver %v", res.Best.Fitness, last.BestEver)
+	}
+	// History[0] is post-initialization, then one entry per generation.
+	if len(res.History) != res.Generations+1 {
+		t.Fatalf("len(History) = %d, want %d", len(res.History), res.Generations+1)
+	}
+
+	full, err := Run(defaultConfig(11), 8, 8, nil, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.History, full.History[:len(res.History)]) {
+		t.Fatalf("partial history %v is not a prefix of the full run's %v", res.History, full.History)
+	}
+}
+
 // TestRunContextIsTransparent asserts the cancellation plumbing costs nothing
 // in terms of results: a run under a live context is bit-identical to the
 // same seed through the context-free entry point.

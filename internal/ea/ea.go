@@ -285,6 +285,14 @@ type GenStats struct {
 	BestEver float64
 	// Rejected counts this generation's rejected offspring.
 	Rejected int
+	// Evaluations, CacheHits, and PrefilterRejections are cumulative
+	// snapshots of the run's counters (Result.Evaluations etc.) taken after
+	// this generation's evaluation pass — observers (progress streams,
+	// anytime dashboards) can report budget consumption without waiting for
+	// the final Result.
+	Evaluations         int
+	CacheHits           int
+	PrefilterRejections int
 }
 
 // Config parametrizes one (μ+λ) evolution-strategy run.
@@ -420,6 +428,11 @@ type Result struct {
 	// Evaluator: memoized results from earlier generations plus duplicates
 	// within one batch. Always 0 when Config.DisableCache is set.
 	CacheHits int
+	// Generations counts the generations actually completed. It equals
+	// Config.Generations for a full run and may be smaller when the run was
+	// cancelled mid-flight — Best then holds the incumbent at cancellation,
+	// a valid anytime answer by plus-selection's incumbent monotonicity.
+	Generations int
 }
 
 // Run executes the (μ+λ) evolution strategy on allocations of length v for a
@@ -441,7 +454,11 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 // cannot perturb the RNG stream: a run that completes under a live context is
 // bit-identical to the same seed under context.Background(). On cancellation
 // the error wraps ctx's cause (context.Canceled or DeadlineExceeded), so
-// errors.Is works; no partial Result is returned.
+// errors.Is works. A cancellation after initialization returns the partial
+// Result alongside the error: Best is the incumbent at cancellation (a valid
+// answer by plus-selection — the population never worsens) and
+// Result.Generations counts the generations actually completed. Only a
+// cancellation before the initial evaluation returns a nil Result.
 func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluator) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -521,7 +538,10 @@ func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.
 
 	for u := 0; u < cfg.Generations; u++ {
 		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("ea: run cancelled before generation %d: %w", u, err)
+			// Anytime contract: the incumbent in res.Best is already a
+			// private clone and History covers every completed generation, so
+			// the partial Result is safe to hand out alongside the error.
+			return res, fmt.Errorf("ea: run cancelled before generation %d: %w", u, err)
 		}
 		m := MutationCount(u, cfg.Generations, cfg.Fm, v)
 		for i := range offspring {
@@ -591,8 +611,13 @@ func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.
 			res.Best = parents[0].Clone()
 		}
 		res.History = append(res.History, res.Best.Fitness)
+		res.Generations = u + 1
 		if cfg.OnGeneration != nil {
-			cfg.OnGeneration(poolStats(u, pool, res.Best.Fitness, res.Rejections-rejectedBefore))
+			gs := poolStats(u, pool, res.Best.Fitness, res.Rejections-rejectedBefore)
+			gs.Evaluations = res.Evaluations
+			gs.CacheHits = res.CacheHits
+			gs.PrefilterRejections = res.PrefilterRejections
+			cfg.OnGeneration(gs)
 		}
 	}
 	return res, nil

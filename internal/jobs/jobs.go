@@ -1,0 +1,462 @@
+// Package jobs implements the in-memory async job subsystem behind the
+// server's /v1/jobs API (DESIGN.md §16): a bounded, TTL-swept store of
+// schedule jobs keyed for idempotency by the canonical request digest, each
+// job carrying an append-only progress-event log that Server-Sent-Events
+// subscribers replay byte-identically.
+//
+// The package is deliberately transport-free: it knows nothing about HTTP,
+// SSE framing, or the EA. The server renders each event's payload exactly
+// once (at publish time) and stores the bytes here, which is what makes a
+// late subscriber's replay byte-stable — there is no re-marshalling path.
+//
+// Concurrency model: one publisher (the worker goroutine running the EA via
+// the OnGeneration observer, then the finalizer) and any number of
+// subscribers. Subscribers do not receive events over channels — they hold a
+// coalescing wake-up channel and pull new events themselves via EventsSince,
+// so a slow SSE client can never drop an event or apply backpressure to the
+// EA's generation loop.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// State is a job's position in the lifecycle state machine:
+//
+//	queued ──► running ──► done
+//	   │          │    ├──► failed
+//	   │          │    └──► cancelled-with-result
+//	   └──────────┴───────► cancelled
+//
+// Terminal states (done, failed, cancelled, cancelled-with-result) are
+// never left; the TTL sweeper only removes terminal jobs.
+type State string
+
+const (
+	// StateQueued: admitted to the store, waiting for a worker slot.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the schedule run.
+	StateRunning State = "running"
+	// StateDone: completed normally; Result holds the response body, which
+	// is byte-identical to the synchronous /v1/schedule answer.
+	StateDone State = "done"
+	// StateFailed: the run failed; Result holds the error body.
+	StateFailed State = "failed"
+	// StateCancelled: cancelled before any generation completed — no
+	// incumbent to hand out.
+	StateCancelled State = "cancelled"
+	// StateCancelledWithResult: cancelled mid-run with the incumbent
+	// schedule snapshotted as a first-class anytime answer (the (μ+λ)
+	// plus-strategy is incumbent-monotone, so every intermediate best is a
+	// valid schedule).
+	StateCancelledWithResult State = "cancelled-with-result"
+)
+
+// Terminal reports whether s is an end state.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCancelled, StateCancelledWithResult:
+		return true
+	}
+	return false
+}
+
+// Event is one progress event of a job: an SSE frame minus the wire framing.
+// Data is rendered exactly once by the publisher and never mutated, so
+// replaying the log to a late or resuming subscriber is byte-stable.
+type Event struct {
+	// Seq is the 1-based sequence number, used as the SSE event id and as
+	// the Last-Event-ID resume cursor.
+	Seq int
+	// Type is the SSE event name ("generation" or "done").
+	Type string
+	// Data is the UTF-8 JSON payload (no trailing newline).
+	Data []byte
+}
+
+// ErrFull reports that the store's MaxJobs bound is reached and no expired
+// job could be evicted; the server maps it to 429 like queue admission.
+var ErrFull = errors.New("jobs: store full")
+
+// Job is one asynchronous schedule run. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	// ID is the public job identifier: "<graph-digest>-<canonical-digest>"
+	// in hex. The leading graph digest is what the router's affinity
+	// hashing recovers from /v1/jobs/{id} paths.
+	ID string
+	// Key is the canonical request digest (graph+cluster+model+algorithm+
+	// seed), the idempotency key: resubmitting an equivalent request
+	// returns this job instead of creating a duplicate.
+	Key string
+
+	now    func() time.Time
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	code     int
+	body     []byte
+	events   []Event
+	subs     map[chan struct{}]struct{}
+	done     chan struct{}
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Snapshot is a point-in-time copy of a job's observable state.
+type Snapshot struct {
+	ID    string
+	Key   string
+	State State
+	// Code and Body are the final HTTP status and response body; zero/nil
+	// until the job reaches a terminal state.
+	Code int
+	Body []byte
+	// Events is the number of progress events published so far.
+	Events int
+	// Created, Started, Finished are the lifecycle timestamps; Started and
+	// Finished are zero until the respective transition.
+	Created, Started, Finished time.Time
+}
+
+// Snapshot returns the job's current observable state. Body aliases the
+// stored result bytes; callers must not mutate it.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Snapshot{
+		ID:       j.ID,
+		Key:      j.Key,
+		State:    j.state,
+		Code:     j.code,
+		Body:     j.body,
+		Events:   len(j.events),
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation of the job's run context. The
+// job does not transition here — the worker observes the context at its next
+// generation boundary and the finalizer records the outcome (cancelled, or
+// cancelled-with-result when an incumbent exists).
+func (j *Job) Cancel() { j.cancel() }
+
+// Start transitions queued → running. It is a no-op if the job already left
+// the queued state (e.g. finalized as cancelled while still queued).
+func (j *Job) Start() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return
+	}
+	j.state = StateRunning
+	j.started = j.now()
+}
+
+// Publish appends one progress event (rendering is the caller's job; data
+// must not be mutated afterwards) and wakes every subscriber. Events
+// published after the job reached a terminal state are dropped.
+func (j *Job) Publish(typ string, data []byte) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: typ, Data: data})
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// Finish transitions the job to a terminal state, records the final
+// response, appends the terminal "done" event (carrying eventData, rendered
+// by the caller), closes Done, and wakes every subscriber. Later Finish
+// calls are no-ops, so racing finalizers (e.g. cancel-while-completing) keep
+// the first outcome.
+func (j *Job) Finish(state State, code int, body []byte, eventData []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.code = code
+	j.body = body
+	j.finished = j.now()
+	j.events = append(j.events, Event{Seq: len(j.events) + 1, Type: "done", Data: eventData})
+	j.notifyLocked()
+	close(j.done)
+}
+
+// notifyLocked wakes every subscriber with a coalescing, non-blocking send;
+// j.mu must be held. A subscriber that has not drained its previous wake-up
+// keeps the one pending token — it will pull all new events on its next
+// EventsSince call anyway.
+func (j *Job) notifyLocked() {
+	for ch := range j.subs { //schedlint:allow mapiterorder -- wake-up order is irrelevant: subscribers pull events themselves, in Seq order
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Subscribe registers a coalescing wake-up channel: it receives (at least)
+// one token after every Publish/Finish. The caller pulls the actual events
+// with EventsSince and must call the returned cancel function when done.
+func (j *Job) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan struct{}]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	// Prime the channel so a subscriber that raced a Publish (or attached
+	// to an already-terminal job) checks the log once before blocking.
+	//schedlint:allow lockscope -- non-blocking send on a cap-1 channel (default case): nothing can block while j.mu is held
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// Subscribers returns the number of registered subscribers.
+func (j *Job) Subscribers() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
+}
+
+// EventsSince returns a copy of the event log entries with Seq > after
+// (after = 0 returns everything). The Data bytes are shared, immutable by
+// contract.
+func (j *Job) EventsSince(after int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if after >= len(j.events) {
+		return nil
+	}
+	out := make([]Event, len(j.events)-after)
+	copy(out, j.events[after:])
+	return out
+}
+
+// Config parametrizes a Store. The zero value picks the defaults below.
+type Config struct {
+	// MaxJobs bounds the number of jobs held at once (queued, running, and
+	// terminal-awaiting-sweep all count). 0 means 256.
+	MaxJobs int
+	// TTL is how long a terminal job's result and event log stay available
+	// for polling and SSE replay after it finishes. 0 means 10 minutes.
+	TTL time.Duration
+	// SweepEvery is the sweeper goroutine's period. 0 means TTL/4, clamped
+	// to [1s, 1m].
+	SweepEvery time.Duration
+	// Now supplies the clock; nil means time.Now. Tests inject a fake clock
+	// to exercise TTL expiry deterministically.
+	Now func() time.Time
+}
+
+// Store is a bounded, TTL-swept collection of jobs with idempotency-key
+// dedup. All methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	byID  map[string]*Job
+	byKey map[string]*Job
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	swept    sync.WaitGroup
+}
+
+// NewStore creates a store and starts its background sweeper.
+func NewStore(cfg Config) *Store {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Minute
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.TTL / 4
+		if cfg.SweepEvery < time.Second {
+			cfg.SweepEvery = time.Second
+		}
+		if cfg.SweepEvery > time.Minute {
+			cfg.SweepEvery = time.Minute
+		}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Store{
+		cfg:   cfg,
+		byID:  make(map[string]*Job),
+		byKey: make(map[string]*Job),
+		stop:  make(chan struct{}),
+	}
+	s.swept.Add(1)
+	go s.sweeper()
+	return s
+}
+
+// Close stops the sweeper and cancels every non-terminal job so their
+// workers unwind. It does not wait for the jobs to finish — the server's
+// drain logic owns that.
+func (s *Store) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.swept.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byID { //schedlint:allow mapiterorder -- cancellation fan-out, order-free
+		j.cancel()
+	}
+}
+
+func (s *Store) sweeper() {
+	defer s.swept.Done()
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.Sweep()
+		}
+	}
+}
+
+// GetOrCreate returns the job registered under the idempotency key, or
+// creates one with the given id and cancel function. created reports
+// whether a new job was made; ErrFull when the store is at MaxJobs and the
+// key is new. An expired terminal job under the same key is replaced, not
+// returned — a resubmit after TTL runs fresh.
+func (s *Store) GetOrCreate(id, key string, cancel context.CancelFunc) (j *Job, created bool, err error) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byKey[key]; ok && !s.expiredLocked(j, now) {
+		return j, false, nil
+	}
+	s.sweepLocked(now)
+	if len(s.byID) >= s.cfg.MaxJobs {
+		return nil, false, ErrFull
+	}
+	j = &Job{
+		ID:      id,
+		Key:     key,
+		now:     s.cfg.Now,
+		cancel:  cancel,
+		state:   StateQueued,
+		done:    make(chan struct{}),
+		created: now,
+	}
+	s.byID[id] = j
+	s.byKey[key] = j
+	return j, true, nil
+}
+
+// Get returns the job with the given id, if present and unexpired.
+func (s *Store) Get(id string) (*Job, bool) {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok || s.expiredLocked(j, now) {
+		return nil, false
+	}
+	return j, true
+}
+
+// Remove deletes the job regardless of state. The admission path uses it to
+// roll back a job whose worker-queue enqueue was refused.
+func (s *Store) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byID[id]; ok {
+		delete(s.byID, j.ID)
+		delete(s.byKey, j.Key)
+	}
+}
+
+// Len returns the number of stored jobs (all states).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}
+
+// Counts returns the number of stored jobs per lifecycle state, always
+// including every state (zero-valued) so metrics gauges reset cleanly.
+func (s *Store) Counts() map[State]int {
+	out := map[State]int{
+		StateQueued:              0,
+		StateRunning:             0,
+		StateDone:                0,
+		StateFailed:              0,
+		StateCancelled:           0,
+		StateCancelledWithResult: 0,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byID { //schedlint:allow mapiterorder -- counting, order-free
+		out[j.State()]++
+	}
+	return out
+}
+
+// Sweep removes terminal jobs whose TTL elapsed and returns how many were
+// removed. The background sweeper calls it periodically; tests call it
+// directly against an injected clock.
+func (s *Store) Sweep() int {
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sweepLocked(now)
+}
+
+func (s *Store) sweepLocked(now time.Time) int {
+	n := 0
+	for id, j := range s.byID { //schedlint:allow mapiterorder -- expiry is a per-job predicate, removal order irrelevant
+		if s.expiredLocked(j, now) {
+			delete(s.byID, id)
+			delete(s.byKey, j.Key)
+			n++
+		}
+	}
+	return n
+}
+
+// expiredLocked reports whether j is terminal and past its retention TTL.
+func (s *Store) expiredLocked(j *Job, now time.Time) bool {
+	snap := j.Snapshot()
+	return snap.State.Terminal() && now.Sub(snap.Finished) >= s.cfg.TTL
+}

@@ -1,0 +1,315 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestStore builds a store on a fake clock with a sweeper period long
+// enough that only explicit Sweep calls matter within a test.
+func newTestStore(t *testing.T, maxJobs int, ttl time.Duration) (*Store, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	s := NewStore(Config{MaxJobs: maxJobs, TTL: ttl, SweepEvery: time.Hour, Now: clk.Now})
+	t.Cleanup(s.Close)
+	return s, clk
+}
+
+func TestStoreDedupByKey(t *testing.T) {
+	s, _ := newTestStore(t, 4, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j1, created, err := s.GetOrCreate("id1", "key1", cancel)
+	if err != nil || !created {
+		t.Fatalf("first GetOrCreate: created=%v err=%v", created, err)
+	}
+	j2, created, err := s.GetOrCreate("id1", "key1", cancel)
+	if err != nil || created {
+		t.Fatalf("resubmit: created=%v err=%v, want dedup", created, err)
+	}
+	if j1 != j2 {
+		t.Fatal("resubmit returned a different job")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreFull(t *testing.T) {
+	s, _ := newTestStore(t, 2, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		if _, _, err := s.GetOrCreate("id"+strconv.Itoa(i), "key"+strconv.Itoa(i), cancel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.GetOrCreate("id2", "key2", cancel); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	// A known key still dedups even at the bound.
+	if _, created, err := s.GetOrCreate("id0", "key0", cancel); err != nil || created {
+		t.Fatalf("dedup at bound: created=%v err=%v", created, err)
+	}
+}
+
+func TestStoreTTLExpiry(t *testing.T) {
+	s, clk := newTestStore(t, 2, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, _, err := s.GetOrCreate("id1", "key1", cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Running jobs never expire, no matter how old.
+	clk.Advance(time.Hour)
+	if n := s.Sweep(); n != 0 {
+		t.Fatalf("swept %d live jobs", n)
+	}
+
+	j.Finish(StateDone, 200, []byte("{}"), []byte("{}"))
+	clk.Advance(time.Minute - time.Second)
+	if _, ok := s.Get("id1"); !ok {
+		t.Fatal("job expired before TTL")
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := s.Get("id1"); ok {
+		t.Fatal("expired job still served")
+	}
+	if n := s.Sweep(); n != 1 {
+		t.Fatalf("swept %d, want 1", n)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after sweep, want 0", s.Len())
+	}
+
+	// A resubmit after expiry runs fresh.
+	j2, created, err := s.GetOrCreate("id1", "key1", cancel)
+	if err != nil || !created {
+		t.Fatalf("resubmit after expiry: created=%v err=%v", created, err)
+	}
+	if j2 == j {
+		t.Fatal("resubmit after expiry returned the expired job")
+	}
+
+	// Expiry also frees capacity for new keys: fill the 2-slot store with
+	// terminal jobs, expire them, and admit a fresh key without an explicit
+	// Sweep (GetOrCreate sweeps on demand).
+	j2.Finish(StateDone, 200, []byte("{}"), []byte("{}"))
+	jb, _, err := s.GetOrCreate("idb", "keyb", cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Finish(StateDone, 200, []byte("{}"), []byte("{}"))
+	clk.Advance(2 * time.Minute)
+	if _, created, err := s.GetOrCreate("idc", "keyc", cancel); err != nil || !created {
+		t.Fatalf("create after implicit sweep: created=%v err=%v", created, err)
+	}
+}
+
+func TestStoreCounts(t *testing.T) {
+	s, _ := newTestStore(t, 8, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j1, _, _ := s.GetOrCreate("id1", "key1", cancel)
+	j2, _, _ := s.GetOrCreate("id2", "key2", cancel)
+	s.GetOrCreate("id3", "key3", cancel)
+	j1.Start()
+	j2.Start()
+	j2.Finish(StateCancelledWithResult, 200, []byte("{}"), []byte("{}"))
+	got := s.Counts()
+	want := map[State]int{
+		StateQueued:              1,
+		StateRunning:             1,
+		StateDone:                0,
+		StateFailed:              0,
+		StateCancelled:           0,
+		StateCancelledWithResult: 1,
+	}
+	for st, n := range want {
+		if got[st] != n {
+			t.Errorf("Counts[%s] = %d, want %d", st, got[st], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("Counts has %d states, want all %d (zero-filled)", len(got), len(want))
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	s, _ := newTestStore(t, 4, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	j, _, err := s.GetOrCreate("id1", "key1", cancel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st != StateQueued {
+		t.Fatalf("state = %s, want queued", st)
+	}
+	j.Start()
+	if st := j.State(); st != StateRunning {
+		t.Fatalf("state = %s, want running", st)
+	}
+	j.Start() // idempotent
+	j.Publish("generation", []byte(`{"generation":0}`))
+	j.Publish("generation", []byte(`{"generation":1}`))
+	j.Finish(StateDone, 200, []byte(`{"ok":true}`), []byte(`{"state":"done"}`))
+	select {
+	case <-j.Done():
+	default:
+		t.Fatal("Done not closed after Finish")
+	}
+	// Later transitions are no-ops: the first outcome sticks.
+	j.Finish(StateFailed, 500, []byte("nope"), []byte("nope"))
+	j.Publish("generation", []byte("late"))
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Code != 200 || string(snap.Body) != `{"ok":true}` {
+		t.Fatalf("snapshot after racing Finish: %+v", snap)
+	}
+	if snap.Events != 3 {
+		t.Fatalf("events = %d, want 3 (2 generations + done)", snap.Events)
+	}
+
+	evs := j.EventsSince(0)
+	if len(evs) != 3 || evs[0].Seq != 1 || evs[2].Seq != 3 || evs[2].Type != "done" {
+		t.Fatalf("EventsSince(0) = %+v", evs)
+	}
+	if got := j.EventsSince(2); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("EventsSince(2) = %+v", got)
+	}
+	if got := j.EventsSince(3); got != nil {
+		t.Fatalf("EventsSince(3) = %+v, want nil", got)
+	}
+
+	// Cancel after terminal is harmless (the context is long dead).
+	j.Cancel()
+	<-ctx.Done()
+}
+
+func TestSubscribeWakeup(t *testing.T) {
+	s, _ := newTestStore(t, 4, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, _, _ := s.GetOrCreate("id1", "key1", cancel)
+
+	wake, unsub := j.Subscribe()
+	defer unsub()
+	// The channel is primed: a subscriber always checks the log once.
+	select {
+	case <-wake:
+	default:
+		t.Fatal("subscribe channel not primed")
+	}
+	j.Publish("generation", []byte("{}"))
+	select {
+	case <-wake:
+	default:
+		t.Fatal("no wake-up after Publish")
+	}
+	if got := len(j.EventsSince(0)); got != 1 {
+		t.Fatalf("events = %d, want 1", got)
+	}
+	if n := j.Subscribers(); n != 1 {
+		t.Fatalf("Subscribers = %d, want 1", n)
+	}
+	unsub()
+	if n := j.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers after unsubscribe = %d, want 0", n)
+	}
+}
+
+// TestConcurrentSubscribers is the -race stress of the one-publisher /
+// many-subscriber protocol: every subscriber must observe the full event log
+// in order, with no drops, while the publisher runs flat out.
+func TestConcurrentSubscribers(t *testing.T) {
+	s, _ := newTestStore(t, 4, time.Minute)
+	_, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, _, _ := s.GetOrCreate("id1", "key1", cancel)
+
+	const subscribers = 8
+	const events = 200
+
+	var wg sync.WaitGroup
+	errs := make(chan error, subscribers)
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wake, unsub := j.Subscribe()
+			defer unsub()
+			after := 0
+			for range wake {
+				for _, ev := range j.EventsSince(after) {
+					if ev.Seq != after+1 {
+						errs <- fmt.Errorf("gap: seq %d after %d", ev.Seq, after)
+						return
+					}
+					after = ev.Seq
+					if ev.Type == "done" {
+						if after != events+1 {
+							errs <- fmt.Errorf("done at seq %d, want %d", after, events+1)
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	go func() {
+		j.Start()
+		for i := 0; i < events; i++ {
+			j.Publish("generation", []byte(`{}`))
+		}
+		j.Finish(StateDone, 200, []byte(`{}`), []byte(`{}`))
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestStoreCloseCancelsLiveJobs(t *testing.T) {
+	clk := newFakeClock()
+	s := NewStore(Config{MaxJobs: 4, TTL: time.Minute, SweepEvery: time.Hour, Now: clk.Now})
+	ctx, cancel := context.WithCancel(context.Background())
+	if _, _, err := s.GetOrCreate("id1", "key1", cancel); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Close did not cancel the live job's context")
+	}
+}

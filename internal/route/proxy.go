@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -56,8 +57,13 @@ type Router struct {
 	cfg     Config
 	checker *Checker
 	client  *http.Client
-	metrics *routerMetrics
-	mux     *http.ServeMux
+	// sseClient shares the transport but has no overall timeout: an SSE
+	// progress stream legitimately outlives UpstreamTimeout (keep-alive
+	// comments keep it non-idle), and its lifetime is bounded by the
+	// client's own connection via the request context instead.
+	sseClient *http.Client
+	metrics   *routerMetrics
+	mux       *http.ServeMux
 
 	inflight sync.WaitGroup
 	draining atomic.Bool
@@ -82,13 +88,19 @@ func New(cfg Config) (*Router, error) {
 		DisableCompression: true,
 	}
 	r := &Router{
-		cfg:     cfg,
-		checker: checker,
-		client:  &http.Client{Transport: transport, Timeout: cfg.UpstreamTimeout},
-		metrics: newRouterMetrics(checker),
+		cfg:       cfg,
+		checker:   checker,
+		client:    &http.Client{Transport: transport, Timeout: cfg.UpstreamTimeout},
+		sseClient: &http.Client{Transport: transport},
+		metrics:   newRouterMetrics(checker),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", r.handleSchedule)
+	// Job submissions route by the same graph-digest key as /v1/schedule;
+	// the id-addressed endpoints (poll, result, SSE, cancel) recover that
+	// key from the job id so they land on the owning backend.
+	mux.HandleFunc("POST /v1/jobs", r.handleSchedule)
+	mux.HandleFunc("/v1/jobs/", r.handleJob)
 	mux.HandleFunc("GET /healthz", r.handleHealthz)
 	mux.HandleFunc("GET /readyz", r.handleReadyz)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
@@ -172,6 +184,48 @@ func (r *Router) handleSchedule(w http.ResponseWriter, req *http.Request) {
 	r.finish(w, backend, resp, start, err)
 }
 
+// handleJob affinity-routes the id-addressed job endpoints
+// (GET/DELETE /v1/jobs/{id}, /result, /events) to the backend owning the
+// job: the id's leading segment is the hex graph digest the submit was
+// routed by, so JobKey reproduces the original rendezvous choice. SSE event
+// streams go through the untimed client — their lifetime is the client
+// connection, not UpstreamTimeout.
+func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
+	r.inflight.Add(1)
+	defer r.inflight.Done()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	key, _ := JobKey(req.URL.Path)
+	table := r.checker.Table()
+	backend, ok := table.Pick(key[:], "")
+	if !ok {
+		r.metrics.noBackend.Add(1)
+		writeError(w, http.StatusServiceUnavailable, ErrNoBackends.Error())
+		return
+	}
+	client := r.client
+	if strings.HasSuffix(req.URL.Path, "/events") {
+		client = r.sseClient
+	}
+	resp, start, err := r.forwardVia(client, req, backend, body)
+	if err != nil && retriable(err) {
+		// The owning backend is gone and its in-memory job store with it; the
+		// next rendezvous choice answers the authoritative 404 (and owns any
+		// resubmit of the same graph).
+		if next, ok2 := table.Pick(key[:], backend.ID); ok2 {
+			r.metrics.retries.Add(1)
+			r.metrics.observe(backend.ID, -1, 0, "", "")
+			backend = next
+			resp, start, err = r.forwardVia(client, req, backend, body)
+		}
+	}
+	r.finish(w, backend, resp, start, err)
+}
+
 // handleForwardAny proxies non-schedule traffic (e.g. GET /v1/algorithms) to
 // a round-robin healthy backend: these answers are backend-independent.
 func (r *Router) handleForwardAny(w http.ResponseWriter, req *http.Request) {
@@ -207,6 +261,12 @@ func (r *Router) handleForwardAny(w http.ResponseWriter, req *http.Request) {
 // forward sends one upstream request and returns the undrained response plus
 // the instant the attempt started (for latency accounting in finish).
 func (r *Router) forward(req *http.Request, b Backend, body []byte) (*http.Response, time.Time, error) {
+	return r.forwardVia(r.client, req, b, body)
+}
+
+// forwardVia is forward through an explicit client (the SSE path uses the
+// untimed one).
+func (r *Router) forwardVia(client *http.Client, req *http.Request, b Backend, body []byte) (*http.Response, time.Time, error) {
 	up, err := http.NewRequestWithContext(req.Context(), req.Method, b.URL+req.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		return nil, time.Time{}, err
@@ -214,8 +274,9 @@ func (r *Router) forward(req *http.Request, b Backend, body []byte) (*http.Respo
 	copyHeader(up.Header, req.Header, "Content-Type")
 	copyHeader(up.Header, req.Header, "Accept")
 	copyHeader(up.Header, req.Header, "X-Request-Id")
+	copyHeader(up.Header, req.Header, "Last-Event-ID")
 	start := time.Now()
-	resp, err := r.client.Do(up)
+	resp, err := client.Do(up)
 	return resp, start, err
 }
 
@@ -238,11 +299,43 @@ func (r *Router) finish(w http.ResponseWriter, b Backend, resp *http.Response, s
 	copyHeader(h, resp.Header, "X-Emts-Instance")
 	copyHeader(h, resp.Header, "X-Request-Id")
 	copyHeader(h, resp.Header, "Retry-After")
+	copyHeader(h, resp.Header, "Location")
+	copyHeader(h, resp.Header, "X-Accel-Buffering")
 	h.Set("X-Emts-Backend", b.ID)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// SSE must not buffer: relay each upstream chunk as it arrives and
+		// flush immediately, so progress events and keep-alive comments reach
+		// the client in real time instead of pooling in the proxy.
+		streamCopy(w, resp.Body)
+	} else {
+		io.Copy(w, resp.Body)
+	}
 	r.metrics.observe(b.ID, resp.StatusCode, time.Since(start).Seconds(),
 		resp.Header.Get("X-Emts-Cache"), resp.Header.Get("X-Emts-Interned"))
+}
+
+// streamCopy relays src to w flushing after every chunk (SSE pass-through).
+func streamCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	if f != nil {
+		f.Flush() // release the headers before the first (possibly slow) event
+	}
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {

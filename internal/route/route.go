@@ -33,8 +33,10 @@
 package route
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"strings"
 
 	"emts/internal/intern"
 )
@@ -217,4 +219,32 @@ func RequestKey(body []byte) ([32]byte, error) {
 		return intern.RawKey(body), ErrNoGraph
 	}
 	return intern.RawKey(env.Graph), nil
+}
+
+// JobKey recovers the affinity key from a /v1/jobs/{id}[/...] path. Job ids
+// lead with the hex digest of the raw graph bytes — the exact key RequestKey
+// hashed when the submit was routed — so polls, SSE subscriptions, and
+// cancels land on the backend that owns the job without the router keeping
+// any state. A malformed path falls back to a digest of the whole path:
+// still deterministic (equal paths keep hitting one backend, which owns the
+// authoritative 404), reported by ok == false.
+func JobKey(path string) (key [32]byte, ok bool) {
+	const prefix = "/v1/jobs/"
+	rest, found := strings.CutPrefix(path, prefix)
+	if !found {
+		return intern.RawKey([]byte(path)), false
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i] // strip /events, /result
+	}
+	if i := strings.IndexByte(rest, '-'); i >= 0 {
+		rest = rest[:i] // keep the leading graph-digest segment
+	}
+	if len(rest) != 2*len(key) {
+		return intern.RawKey([]byte(path)), false
+	}
+	if _, err := hex.Decode(key[:], []byte(rest)); err != nil {
+		return intern.RawKey([]byte(path)), false
+	}
+	return key, true
 }

@@ -1,9 +1,11 @@
 package route
 
 import (
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -242,5 +244,48 @@ func TestRequestKey(t *testing.T) {
 	// No graph: deterministic whole-body fallback plus the sentinel.
 	if _, err := RequestKey([]byte(`{"algorithm":"cpa"}`)); err != ErrNoGraph {
 		t.Fatalf("no-graph error = %v, want ErrNoGraph", err)
+	}
+}
+
+// TestJobKey pins the id-addressed affinity contract: the graph digest a
+// submit was routed by is recoverable from every /v1/jobs/{id}[/...] path,
+// so polls, SSE subscriptions, and cancels hash onto the same backend.
+func TestJobKey(t *testing.T) {
+	graph := []byte(`{"tasks":[{"id":"t1","work":1}]}`)
+	body := append(append([]byte(`{"graph":`), graph...), []byte(`,"algorithm":"emts5","seed":7}`)...)
+	want, err := RequestKey(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := hex.EncodeToString(want[:]) + "-" + "aabbccdd"
+	for _, path := range []string{
+		"/v1/jobs/" + id,
+		"/v1/jobs/" + id + "/events",
+		"/v1/jobs/" + id + "/result",
+	} {
+		key, ok := JobKey(path)
+		if !ok {
+			t.Fatalf("JobKey(%q) not ok", path)
+		}
+		if key != want {
+			t.Fatalf("JobKey(%q) differs from the submit's RequestKey", path)
+		}
+	}
+
+	// Malformed ids fall back to a deterministic whole-path digest: the same
+	// path keeps hitting one backend (which owns the authoritative 404).
+	for _, path := range []string{
+		"/v1/jobs/short-id",
+		"/v1/jobs/" + strings.Repeat("zz", 32) + "-x", // right length, not hex
+		"/v1/schedule",
+	} {
+		k1, ok := JobKey(path)
+		if ok {
+			t.Fatalf("JobKey(%q) ok on malformed path", path)
+		}
+		k2, _ := JobKey(path)
+		if k1 != k2 {
+			t.Fatalf("JobKey(%q) not deterministic", path)
+		}
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"emts/internal/jobs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-duration
@@ -60,6 +62,14 @@ type metrics struct {
 	governorAvailable func() int
 	governorCapacity  int
 
+	// Async job subsystem (DESIGN.md §16). jobStates samples the store's
+	// per-state population at scrape time (nil when the job API is
+	// disabled); sseSubscribers gauges live event streams; anytimeCancels
+	// counts cancellations that salvaged an incumbent schedule.
+	jobStates      func() map[jobs.State]int
+	sseSubscribers atomic.Int64
+	anytimeCancels atomic.Uint64
+
 	mu sync.Mutex
 	// requests counts finished HTTP requests by status code, across all
 	// endpoints.
@@ -69,6 +79,9 @@ type metrics struct {
 	outcomes map[outcomeKey]uint64
 	// latency holds one histogram per algorithm, successful computations only.
 	latency map[string]*histogram
+	// jobPhase holds one histogram per job lifecycle phase ("queued",
+	// "running"), fed by the job finalizer.
+	jobPhase map[string]*histogram
 }
 
 type outcomeKey struct {
@@ -81,6 +94,7 @@ func newMetrics() *metrics {
 		requests:      make(map[int]uint64),
 		outcomes:      make(map[outcomeKey]uint64),
 		latency:       make(map[string]*histogram),
+		jobPhase:      make(map[string]*histogram),
 		queueDepth:    func() int { return 0 },
 		cacheEntries:  func() int { return 0 },
 		queueCapacity: 0,
@@ -96,6 +110,17 @@ func (m *metrics) countRequest(code int) {
 func (m *metrics) countOutcome(algorithm, outcome string) {
 	m.mu.Lock()
 	m.outcomes[outcomeKey{algorithm, outcome}]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeJobPhase(phase string, seconds float64) {
+	m.mu.Lock()
+	h := m.jobPhase[phase]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		m.jobPhase[phase] = h
+	}
+	h.observe(seconds)
 	m.mu.Unlock()
 }
 
@@ -210,6 +235,46 @@ func (m *metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintln(cw, "# HELP emts_governor_tokens_capacity CPU governor token capacity.")
 		fmt.Fprintln(cw, "# TYPE emts_governor_tokens_capacity gauge")
 		fmt.Fprintf(cw, "emts_governor_tokens_capacity %d\n", m.governorCapacity)
+	}
+
+	if m.jobStates != nil {
+		counts := m.jobStates()
+		states := make([]string, 0, len(counts))
+		for st := range counts {
+			states = append(states, string(st))
+		}
+		sort.Strings(states)
+		fmt.Fprintln(cw, "# HELP emts_jobs_states Async jobs resident in the store, by lifecycle state.")
+		fmt.Fprintln(cw, "# TYPE emts_jobs_states gauge")
+		for _, st := range states {
+			fmt.Fprintf(cw, "emts_jobs_states{state=%q} %d\n", st, counts[jobs.State(st)])
+		}
+		fmt.Fprintln(cw, "# HELP emts_jobs_sse_subscribers Live SSE progress-stream subscribers.")
+		fmt.Fprintln(cw, "# TYPE emts_jobs_sse_subscribers gauge")
+		fmt.Fprintf(cw, "emts_jobs_sse_subscribers %d\n", m.sseSubscribers.Load())
+		fmt.Fprintln(cw, "# HELP emts_jobs_anytime_cancel_total Job cancellations that salvaged an incumbent schedule.")
+		fmt.Fprintln(cw, "# TYPE emts_jobs_anytime_cancel_total counter")
+		fmt.Fprintf(cw, "emts_jobs_anytime_cancel_total %d\n", m.anytimeCancels.Load())
+
+		fmt.Fprintln(cw, "# HELP emts_jobs_phase_seconds Time async jobs spend per lifecycle phase.")
+		fmt.Fprintln(cw, "# TYPE emts_jobs_phase_seconds histogram")
+		phases := make([]string, 0, len(m.jobPhase))
+		for p := range m.jobPhase {
+			phases = append(phases, p)
+		}
+		sort.Strings(phases)
+		for _, p := range phases {
+			h := m.jobPhase[p]
+			cum := uint64(0)
+			for i, ub := range latencyBuckets {
+				cum += h.counts[i]
+				fmt.Fprintf(cw, "emts_jobs_phase_seconds_bucket{phase=%q,le=%q} %d\n",
+					p, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+			}
+			fmt.Fprintf(cw, "emts_jobs_phase_seconds_bucket{phase=%q,le=\"+Inf\"} %d\n", p, h.total)
+			fmt.Fprintf(cw, "emts_jobs_phase_seconds_sum{phase=%q} %g\n", p, h.sum)
+			fmt.Fprintf(cw, "emts_jobs_phase_seconds_count{phase=%q} %d\n", p, h.total)
+		}
 	}
 
 	return cw.n, cw.err

@@ -26,6 +26,10 @@ type ScheduleResponse struct {
 	Evaluations int       `json:"evaluations,omitempty"`
 	Rejections  int       `json:"rejections,omitempty"`
 	History     []float64 `json:"history,omitempty"`
+	// Generations counts the EA generations actually completed. For an
+	// anytime answer (a cancelled async job) it is smaller than the
+	// preset's generation budget.
+	Generations int `json:"generations,omitempty"`
 	// Schedule is the fully validated placement.
 	Schedule *schedule.Schedule `json:"schedule"`
 }
@@ -46,6 +50,7 @@ func marshalResponse(rep *sim.Report) ([]byte, error) {
 		resp.Evaluations = rep.EMTS.Evaluations
 		resp.Rejections = rep.EMTS.Rejections
 		resp.History = rep.EMTS.History
+		resp.Generations = rep.EMTS.Generations
 	}
 	b, err := json.Marshal(resp)
 	if err != nil {

@@ -42,8 +42,10 @@ import (
 	"time"
 
 	"emts/internal/dag"
+	"emts/internal/ea"
 	"emts/internal/evalpool"
 	"emts/internal/intern"
+	"emts/internal/jobs"
 	"emts/internal/model"
 	"emts/internal/platform"
 	"emts/internal/sim"
@@ -103,6 +105,16 @@ type Config struct {
 	// Responses are bit-identical either way (ea results are independent of
 	// worker count); A/B switch like DisableInterning.
 	DisableGovernor bool
+	// MaxJobs bounds the async job store behind /v1/jobs (default 256;
+	// negative disables the job API entirely — the routes are then not
+	// registered). A full store answers 429, like queue admission.
+	MaxJobs int
+	// JobTTL is how long a finished job's result and event log stay
+	// available for polling and SSE replay (default 10m).
+	JobTTL time.Duration
+	// SSEKeepAlive is the comment-frame period on idle /v1/jobs/{id}/events
+	// streams, keeping proxies from severing them (default 15s).
+	SSEKeepAlive time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -133,6 +145,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TableEntries == 0 {
 		c.TableEntries = 2 * intern.DefaultEntries
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 256
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.SSEKeepAlive <= 0 {
+		c.SSEKeepAlive = 15 * time.Second
 	}
 	return c
 }
@@ -173,6 +194,9 @@ type Server struct {
 	pool   *evalpool.Pool
 	gov    *governor
 
+	// jobStore backs the /v1/jobs API; nil when Config.MaxJobs < 0.
+	jobStore *jobs.Store
+
 	reqID atomic.Uint64
 	ready atomic.Bool
 }
@@ -184,6 +208,18 @@ type job struct {
 	// result is buffered (capacity 1): the worker never blocks on a handler
 	// that gave up waiting.
 	result chan jobResult
+	// onGen, when non-nil, observes per-generation EA statistics (the async
+	// job path streams them as SSE events). It is threaded through
+	// sim.Options and called once per generation — never on the hot fitness
+	// path.
+	onGen func(ea.GenStats)
+	// anytime marks an async job: a mid-run cancellation then salvages the
+	// EA's incumbent as a 200 "anytime" result instead of a 499/504. The
+	// synchronous path leaves it false and keeps its status-code contract.
+	anytime bool
+	// started, when non-nil, is called by the worker the moment the job
+	// leaves the queue (the jobs store's queued → running transition).
+	started func()
 }
 
 // jobResult is the worker's verdict: an HTTP status, a response body, and the
@@ -246,12 +282,24 @@ func New(cfg Config) *Server {
 		s.metrics.governorCapacity = s.gov.capacity
 	}
 
+	if cfg.MaxJobs > 0 {
+		s.jobStore = jobs.NewStore(jobs.Config{MaxJobs: cfg.MaxJobs, TTL: cfg.JobTTL})
+		s.metrics.jobStates = s.jobStore.Counts
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.jobStore != nil {
+		mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+		mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	}
 	s.mux = mux
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -301,6 +349,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.queue)
 	}
 	s.admission.Unlock()
+	if s.jobStore != nil {
+		// Stop the sweeper and cancel every non-terminal job: queued and
+		// running jobs then finalize as cancelled (or cancelled-with-result)
+		// within one EA generation, so the drain below is prompt.
+		s.jobStore.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.workers.Wait()
@@ -319,6 +373,9 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
 		s.metrics.inflight.Add(1)
+		if j.started != nil {
+			j.started()
+		}
 		j.result <- s.compute(j)
 		s.metrics.inflight.Add(-1)
 	}
@@ -384,7 +441,7 @@ func (s *Server) compute(j *job) jobResult {
 	// The governor sizes this run's EA parallelism to the tokens currently
 	// free; responses are identical for any grant (worker-count-independent
 	// engine), so only throughput depends on the grant.
-	opt := sim.Options{CacheShards: s.cfg.CacheShards, MapperPool: s.pool}
+	opt := sim.Options{CacheShards: s.cfg.CacheShards, MapperPool: s.pool, OnGeneration: j.onGen}
 	if s.gov != nil {
 		tokens, release := s.gov.acquire()
 		defer release()
@@ -395,6 +452,19 @@ func (s *Server) compute(j *job) jobResult {
 	rep, err := s.run(j.ctx, p.graph, p.cluster, tab, p.algorithm, p.req.Seed, opt)
 	elapsed := time.Since(start)
 	if err != nil {
+		// Anytime salvage (async jobs only): a mid-run cancellation that
+		// still yielded a materialized incumbent (see sim.RunTableOpts) is a
+		// first-class 200 answer. It is deliberately NOT inserted into the
+		// response cache — the partial result is not the canonical response
+		// for this digest. The synchronous path keeps its 504/499 contract.
+		if j.anytime && rep != nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			body, merr := marshalResponse(rep)
+			if merr == nil {
+				s.metrics.countOutcome(p.algorithm, "anytime")
+				return jobResult{code: http.StatusOK, body: body, outcome: "anytime", interned: interned}
+			}
+		}
 		return s.errorResult(err, p.algorithm)
 	}
 	body, merr := marshalResponse(rep)
@@ -426,33 +496,13 @@ func (s *Server) cancelResult(err error, algorithm string) jobResult {
 // handleSchedule is the POST /v1/schedule lifecycle described in the package
 // comment.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	body, err := readRequestBody(w, r, s.cfg.MaxRequestBytes)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSONError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit), "body")
-			return
-		}
-		writeJSONError(w, http.StatusBadRequest, "reading body: "+err.Error(), "body")
-		return
+		return // readRequestBody already answered
 	}
-	maxTasks := s.cfg.MaxTasks
-	if maxTasks < 0 {
-		maxTasks = 0
-	}
-	parsed, err := parseScheduleRequest(body, maxTasks, s.graphs)
+	parsed, err := parseScheduleRequest(body, s.maxTasks(), s.graphs)
 	if err != nil {
-		var reqErr *RequestError
-		var decErr *dag.DecodeError
-		switch {
-		case errors.As(err, &reqErr):
-			writeJSONError(w, http.StatusBadRequest, reqErr.Msg, reqErr.Field)
-		case errors.As(err, &decErr):
-			writeJSONError(w, http.StatusBadRequest, decErr.Msg, "graph."+decErr.Field)
-		default:
-			writeJSONError(w, http.StatusBadRequest, err.Error(), "")
-		}
+		writeParseError(w, err)
 		return
 	}
 
@@ -475,14 +525,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Emts-Cache", "miss")
 
 	ctx := r.Context()
-	timeout := s.cfg.RequestTimeout
-	if timeout < 0 {
-		timeout = 0
-	}
-	if reqTimeout := time.Duration(parsed.req.TimeoutMS) * time.Millisecond; reqTimeout > 0 && (timeout == 0 || reqTimeout < timeout) {
-		timeout = reqTimeout
-	}
-	if timeout > 0 {
+	if timeout := s.requestTimeout(parsed); timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
@@ -527,6 +570,28 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			writeJSONError(w, 499, "client cancelled", "")
 		}
 	}
+}
+
+// maxTasks is the admission graph-size limit (0 = unlimited).
+func (s *Server) maxTasks() int {
+	if s.cfg.MaxTasks < 0 {
+		return 0
+	}
+	return s.cfg.MaxTasks
+}
+
+// requestTimeout resolves the compute deadline for a parsed request: the
+// server cap, tightened (never raised) by the request's timeout_ms. 0 means
+// no deadline.
+func (s *Server) requestTimeout(parsed *parsedRequest) time.Duration {
+	timeout := s.cfg.RequestTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	if reqTimeout := time.Duration(parsed.req.TimeoutMS) * time.Millisecond; reqTimeout > 0 && (timeout == 0 || reqTimeout < timeout) {
+		timeout = reqTimeout
+	}
+	return timeout
 }
 
 // handleAlgorithms lists the accepted algorithm and model names.
@@ -600,4 +665,12 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Write(b []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so SSE handlers can stream
+// through the recorder; a non-flushing underlying writer makes it a no-op.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"emts/internal/alloc"
 	"emts/internal/core"
 	"emts/internal/dag"
+	"emts/internal/ea"
 	"emts/internal/evalpool"
 	"emts/internal/listsched"
 	"emts/internal/model"
@@ -134,6 +135,13 @@ type Options struct {
 	// MapperPool, when non-nil, lends listsched.Mapper arenas to the run and
 	// takes them back when it finishes (see core.Params.MapperPool).
 	MapperPool *evalpool.Pool
+	// OnGeneration, when non-nil, observes per-generation EA statistics for
+	// EMTS algorithms (ignored by the one-shot heuristics). It is called
+	// from the run's goroutine after each generation's selection — the same
+	// once-per-generation point RunContext checks ctx — so observation adds
+	// zero cost to the hot fitness path and cannot perturb results (the
+	// observer-transparency meta-test enforces bit-identity on/off).
+	OnGeneration func(ea.GenStats)
 }
 
 // RunTableContext is RunTable with cooperative cancellation.
@@ -164,9 +172,23 @@ func RunTableOpts(ctx context.Context, g *dag.Graph, cluster platform.Cluster, t
 		params.Workers = opt.Workers
 		params.CacheShards = opt.CacheShards
 		params.MapperPool = opt.MapperPool
+		params.OnGeneration = opt.OnGeneration
 		res, err := core.RunContext(ctx, g, tab, params)
 		if err != nil {
-			return nil, err
+			// Anytime contract (see core.RunContext): a mid-run cancellation
+			// still yields the materialized incumbent. Validate and report it
+			// exactly like a completed run, alongside the context error.
+			if res == nil {
+				return nil, err
+			}
+			rep.EMTS = res
+			rep.Schedule = res.Schedule
+			rep.Makespan = res.Makespan
+			rep.Elapsed = time.Since(start)
+			if verr := rep.Schedule.Validate(g, tab); verr != nil {
+				return nil, fmt.Errorf("sim: %s produced an invalid schedule: %w", rep.Algorithm, verr)
+			}
+			return rep, err
 		}
 		rep.EMTS = res
 		rep.Schedule = res.Schedule

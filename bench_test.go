@@ -641,3 +641,41 @@ func BenchmarkEMTS5InstanceNoCache(b *testing.B) {
 		}
 	}
 }
+
+// islandInstanceBench runs the headline 100-task EMTS5 workload as an
+// island-model optimization and reports ns/generation — the number the
+// islands curve of artifacts/BENCH_PR10.json is built from. A generation of
+// an N-island run advances all N populations one step (N×λ offspring), so on
+// an M-core host ns/generation should stay roughly flat up to N ≈ M islands
+// (the islands hide behind each other), while on a single core it grows
+// linearly in N — parity of per-island cost, not wall-clock speedup.
+func islandInstanceBench(b *testing.B, islands int, steal bool) {
+	g, tab, _ := benchInstance(b)
+	b.ResetTimer()
+	gens := 0
+	for i := 0; i < b.N; i++ {
+		p := core.EMTS5(1)
+		p.UseRejection = true
+		p.Islands = islands
+		p.MigrationInterval = 2
+		p.DisableWorkStealing = !steal
+		res, err := core.Run(g, tab, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens += res.Generations
+	}
+	if gens > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(gens), "ns/generation")
+	}
+}
+
+// BenchmarkEMTSIslands measures the island-count scaling curve at
+// N ∈ {1, 2, 4, 8} with work stealing on, plus the 4-island A/B control with
+// stealing disabled (fixed contiguous chunks).
+func BenchmarkEMTSIslands(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("islands%d", n), func(b *testing.B) { islandInstanceBench(b, n, true) })
+	}
+	b.Run("islands4nosteal", func(b *testing.B) { islandInstanceBench(b, 4, false) })
+}

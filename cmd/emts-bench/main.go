@@ -15,11 +15,19 @@
 // the structure-of-arrays batch path (ROADMAP item 5) is directly visible in
 // the committed artifact.
 //
+// With -islands it additionally runs the island-count scaling benchmark
+// (BenchmarkEMTSIslands) and distills the ns/generation metrics into an
+// "islands" section — one point per island count with the per-island cost
+// and the search-throughput ratio against the single population — so the
+// island model's scaling (DESIGN.md §17) lands in the committed artifact
+// (artifacts/BENCH_PR10.json).
+//
 // Usage:
 //
 //	emts-bench -bench 'EMTS5Instance$' -benchtime 1x
 //	emts-bench -bench 'BenchmarkEMTS' -benchtime 2s -out artifacts/BENCH_PR3.json
 //	emts-bench -bench 'EMTS(5|10)Instance(NoBatch)?$' -curve -out artifacts/BENCH_PR6.json
+//	emts-bench -bench 'EMTS(5|10)Instance$' -islands 1,2,4,8 -out artifacts/BENCH_PR10.json
 package main
 
 import (
@@ -43,16 +51,17 @@ func main() {
 		pkg       = flag.String("pkg", ".", "package to benchmark")
 		out       = flag.String("out", "-", "output file, or - for stdout")
 		curve     = flag.Bool("curve", false, "also run BenchmarkPerIndividual and emit a per-λ batch-vs-scalar cost curve")
+		islands   = flag.String("islands", "", "comma-separated island counts (e.g. 1,2,4,8): also run BenchmarkEMTSIslands and emit an islands scaling curve")
 		note      = flag.String("note", "", "free-text annotation recorded in the report (host caveats, run conditions)")
 	)
 	flag.Parse()
-	if err := run(*bench, *benchtime, *count, *pkg, *out, *curve, *note); err != nil {
+	if err := run(*bench, *benchtime, *count, *pkg, *out, *curve, *islands, *note); err != nil {
 		fmt.Fprintln(os.Stderr, "emts-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime string, count int, pkg, out string, curve bool, note string) error {
+func run(bench, benchtime string, count int, pkg, out string, curve bool, islands, note string) error {
 	rep, err := goBench(bench, benchtime, count, pkg)
 	if err != nil {
 		return err
@@ -65,6 +74,21 @@ func run(bench, benchtime string, count int, pkg, out string, curve bool, note s
 		}
 		rep.Benchmarks = append(rep.Benchmarks, crep.Benchmarks...)
 		rep.Curve, err = buildCurve(crep.Benchmarks)
+		if err != nil {
+			return err
+		}
+	}
+	if islands != "" {
+		counts, err := parseIslandCounts(islands)
+		if err != nil {
+			return err
+		}
+		irep, err := goBench("^BenchmarkEMTSIslands$", benchtime, count, pkg)
+		if err != nil {
+			return fmt.Errorf("islands run: %w", err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, irep.Benchmarks...)
+		rep.Islands, err = buildIslandCurve(irep.Benchmarks, counts)
 		if err != nil {
 			return err
 		}
@@ -108,6 +132,9 @@ type Report struct {
 	// Curve is the per-individual cost curve (one point per λ), present only
 	// with -curve.
 	Curve []CurvePoint `json:"curve,omitempty"`
+	// Islands is the island-count scaling curve (one point per island
+	// count), present only with -islands.
+	Islands []IslandPoint `json:"islands,omitempty"`
 }
 
 // CurvePoint is one λ of the per-individual cost curve: the amortized cost of
@@ -117,6 +144,108 @@ type CurvePoint struct {
 	ScalarNsPerIndiv float64 `json:"scalar_ns_per_individual"`
 	BatchNsPerIndiv  float64 `json:"batch_ns_per_individual"`
 	ScalarOverBatch  float64 `json:"scalar_over_batch"`
+}
+
+// IslandPoint is one island count of the scaling curve. A generation of an
+// N-island run advances all N populations (N×λ offspring), so
+// per_island_ns_per_generation is the amortized cost of one population step
+// and throughput_vs_single = N × ns_gen(1) / ns_gen(N) is the search-
+// throughput ratio against the classic single population: ≈N when the
+// islands fully hide behind spare cores, ≈1 on a single core (parity —
+// islands then cost exactly their extra work). NoStealNsPerGeneration, when
+// present, is the A/B control with work stealing disabled at the same
+// island count.
+type IslandPoint struct {
+	Islands                int     `json:"islands"`
+	NsPerOp                float64 `json:"ns_per_op"`
+	NsPerGeneration        float64 `json:"ns_per_generation"`
+	PerIslandNsPerGen      float64 `json:"per_island_ns_per_generation"`
+	ThroughputVsSingle     float64 `json:"throughput_vs_single"`
+	NoStealNsPerGeneration float64 `json:"nosteal_ns_per_generation,omitempty"`
+}
+
+// parseIslandCounts parses the -islands flag value.
+func parseIslandCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad island count %q in -islands", part)
+		}
+		counts = append(counts, n)
+	}
+	sort.Ints(counts)
+	return counts, nil
+}
+
+// buildIslandCurve distills BenchmarkEMTSIslands sub-benchmark results
+// (BenchmarkEMTSIslands/islands4-8, BenchmarkEMTSIslands/islands4nosteal-8,
+// each reporting an "ns/generation" metric) into one IslandPoint per
+// requested count. A requested count with no measurement is an error, not a
+// silent gap; the curve needs islands=1 as the throughput baseline.
+func buildIslandCurve(benchmarks []Benchmark, counts []int) ([]IslandPoint, error) {
+	type meas struct {
+		nsPerOp, nsPerGen float64
+		noSteal           float64
+		ok                bool
+	}
+	byCount := map[int]*meas{}
+	get := func(n int) *meas {
+		m := byCount[n]
+		if m == nil {
+			m = &meas{}
+			byCount[n] = m
+		}
+		return m
+	}
+	for _, b := range benchmarks {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkEMTSIslands/islands")
+		if !ok {
+			continue
+		}
+		// Strip the -<procs> suffix go test appends for GOMAXPROCS>1.
+		if i := strings.IndexByte(rest, '-'); i >= 0 {
+			rest = rest[:i]
+		}
+		noSteal := false
+		if s, ok := strings.CutSuffix(rest, "nosteal"); ok {
+			rest, noSteal = s, true
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return nil, fmt.Errorf("unrecognized islands benchmark name %q", b.Name)
+		}
+		ns, ok := b.Metrics["ns/generation"]
+		if !ok {
+			return nil, fmt.Errorf("islands benchmark %q reported no ns/generation metric", b.Name)
+		}
+		m := get(n)
+		if noSteal {
+			m.noSteal = ns
+		} else {
+			m.nsPerOp, m.nsPerGen, m.ok = b.NsPerOp, ns, true
+		}
+	}
+	single, ok := byCount[1]
+	if !ok || !single.ok {
+		return nil, fmt.Errorf("islands curve needs the islands1 baseline measurement")
+	}
+	curve := make([]IslandPoint, 0, len(counts))
+	for _, n := range counts {
+		m := byCount[n]
+		if m == nil || !m.ok {
+			return nil, fmt.Errorf("island count %d requested but not measured", n)
+		}
+		curve = append(curve, IslandPoint{
+			Islands:                n,
+			NsPerOp:                m.nsPerOp,
+			NsPerGeneration:        m.nsPerGen,
+			PerIslandNsPerGen:      m.nsPerGen / float64(n),
+			ThroughputVsSingle:     float64(n) * single.nsPerGen / m.nsPerGen,
+			NoStealNsPerGeneration: m.noSteal,
+		})
+	}
+	return curve, nil
 }
 
 // Benchmark is one parsed benchmark result line.

@@ -66,3 +66,55 @@ func TestParseBenchKeepsProcSuffix(t *testing.T) {
 		t.Errorf("name = %q", rep.Benchmarks[0].Name)
 	}
 }
+
+func TestBuildIslandCurve(t *testing.T) {
+	benchmarks := []Benchmark{
+		{Name: "BenchmarkEMTSIslands/islands1-8", NsPerOp: 3e6, Metrics: map[string]float64{"ns/generation": 6e5}},
+		{Name: "BenchmarkEMTSIslands/islands2-8", NsPerOp: 3.2e6, Metrics: map[string]float64{"ns/generation": 6.4e5}},
+		{Name: "BenchmarkEMTSIslands/islands4-8", NsPerOp: 3.5e6, Metrics: map[string]float64{"ns/generation": 7e5}},
+		{Name: "BenchmarkEMTSIslands/islands4nosteal-8", NsPerOp: 3.9e6, Metrics: map[string]float64{"ns/generation": 7.8e5}},
+	}
+	curve, err := buildIslandCurve(benchmarks, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("got %d points, want 3", len(curve))
+	}
+	p := curve[2]
+	if p.Islands != 4 || p.NsPerGeneration != 7e5 || p.PerIslandNsPerGen != 7e5/4 {
+		t.Errorf("islands4 point = %+v", p)
+	}
+	if want := 4 * 6e5 / 7e5; p.ThroughputVsSingle != want {
+		t.Errorf("throughput_vs_single = %v, want %v", p.ThroughputVsSingle, want)
+	}
+	if p.NoStealNsPerGeneration != 7.8e5 {
+		t.Errorf("nosteal = %v", p.NoStealNsPerGeneration)
+	}
+	if curve[0].NoStealNsPerGeneration != 0 {
+		t.Errorf("islands1 unexpectedly has a nosteal control: %+v", curve[0])
+	}
+
+	// A requested-but-unmeasured count and a missing baseline are errors.
+	if _, err := buildIslandCurve(benchmarks, []int{1, 8}); err == nil {
+		t.Error("unmeasured count accepted")
+	}
+	if _, err := buildIslandCurve(benchmarks[1:], []int{2, 4}); err == nil {
+		t.Error("missing islands1 baseline accepted")
+	}
+}
+
+func TestParseIslandCounts(t *testing.T) {
+	counts, err := parseIslandCounts("4, 1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[2] != 4 {
+		t.Errorf("counts = %v", counts)
+	}
+	for _, bad := range []string{"", "0", "x", "1,,2"} {
+		if _, err := parseIslandCounts(bad); err == nil {
+			t.Errorf("parseIslandCounts(%q) succeeded, want error", bad)
+		}
+	}
+}

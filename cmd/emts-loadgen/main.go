@@ -8,7 +8,7 @@
 //	             [-c 4] [-duration 10s]
 //	             [-graphs fft8,strassen,random50] [-algo emts5]
 //	             [-model synthetic] [-cluster chti] [-seeds 8] [-seed 1]
-//	             [-rps 0] [-jobs] [-cancel-at 0] [-json file]
+//	             [-islands 0] [-rps 0] [-jobs] [-cancel-at 0] [-json file]
 //
 // The default mode is closed-loop: each of the c workers keeps exactly one
 // request in flight, so offered load adapts to service capacity instead of
@@ -40,6 +40,11 @@
 // incumbent whose makespan equals the last streamed best_makespan
 // (anytime_ok), and how many completed jobs streamed exactly one generation
 // event per generation in the final result (sse_match/sse_mismatch).
+//
+// -islands N stamps the island-model EA parameter into every generated
+// request (see README "Parallel search"); the JSON summary echoes the setting
+// and the total EA generations the successful responses reported, so a bench
+// harness can compare throughput across island counts.
 //
 // -json FILE additionally writes the machine-readable summary to FILE
 // ("-" = stdout) for benchmark harnesses and CI gates.
@@ -79,6 +84,7 @@ func main() {
 		cluster  = flag.String("cluster", "chti", "cluster preset (chti, grelon)")
 		seeds    = flag.Int("seeds", 8, "distinct request seeds per workload (1 = all cache hits after warmup)")
 		seed     = flag.Int64("seed", 1, "base seed for graph generation and request seeds")
+		islands  = flag.Int("islands", 0, "islands stamped into every request (0 = classic single population)")
 		timeout  = flag.Duration("timeout", time.Minute, "per-request client timeout")
 		rps      = flag.Float64("rps", 0, "open-loop fixed request rate (0 = closed loop with -c workers)")
 		jsonOut  = flag.String("json", "", "also write the summary as JSON to this file (\"-\" = stdout)")
@@ -96,6 +102,7 @@ func main() {
 		conc:     *conc,
 		seeds:    *seeds,
 		seed:     *seed,
+		islands:  *islands,
 		duration: *duration,
 		timeout:  *timeout,
 		rps:      *rps,
@@ -121,6 +128,7 @@ type loadOpts struct {
 	conc     int
 	seeds    int
 	seed     int64
+	islands  int
 	duration time.Duration
 	timeout  time.Duration
 	rps      float64
@@ -132,7 +140,7 @@ type loadOpts struct {
 // buildBodies pre-marshals every request body: workloads × seeds. Marshaling
 // outside the measurement loop keeps the client overhead out of the
 // latencies.
-func buildBodies(graphSpecs, algo, model, cluster string, nSeeds int, baseSeed int64) ([][]byte, error) {
+func buildBodies(graphSpecs, algo, model, cluster string, nSeeds int, baseSeed int64, islands int) ([][]byte, error) {
 	var bodies [][]byte
 	for _, spec := range strings.Split(graphSpecs, ",") {
 		spec = strings.TrimSpace(spec)
@@ -154,6 +162,7 @@ func buildBodies(graphSpecs, algo, model, cluster string, nSeeds int, baseSeed i
 				Model:     model,
 				Algorithm: algo,
 				Seed:      baseSeed + int64(s),
+				Islands:   islands,
 			}
 			b, err := json.Marshal(req)
 			if err != nil {
@@ -222,17 +231,29 @@ type result struct {
 	internGraph int            // 200s whose X-Emts-Interned includes "graph"
 	internTable int            // ... and "table"
 	instances   map[string]int // X-Emts-Instance values of 200s
+	generations int            // EA generations reported by 200 bodies
 	firstErr    error
 }
 
+// respBrief is the slice of a schedule response the generator accounts for.
+type respBrief struct {
+	Generations int `json:"generations"`
+}
+
 // observe folds one response into the result (200s only carry latency,
-// cache, intern, and instance accounting).
-func (res *result) observe(resp *http.Response, elapsed time.Duration) {
+// cache, intern, generation, and instance accounting). body is the already
+// drained response body; decoding it happens after elapsed was taken, so the
+// accounting never inflates the latencies.
+func (res *result) observe(resp *http.Response, body []byte, elapsed time.Duration) {
 	res.codes[resp.StatusCode]++
 	if resp.StatusCode != http.StatusOK {
 		return
 	}
 	res.latencies = append(res.latencies, elapsed)
+	var rb respBrief
+	if err := json.Unmarshal(body, &rb); err == nil {
+		res.generations += rb.Generations
+	}
 	if resp.Header.Get("X-Emts-Cache") == "hit" {
 		res.cacheHits++
 	}
@@ -263,7 +284,7 @@ func run(out io.Writer, o loadOpts) error {
 	if o.jobs {
 		return runJobsMode(out, o)
 	}
-	bodies, err := buildBodies(o.graphs, o.algo, o.model, o.cluster, o.seeds, o.seed)
+	bodies, err := buildBodies(o.graphs, o.algo, o.model, o.cluster, o.seeds, o.seed, o.islands)
 	if err != nil {
 		return err
 	}
@@ -279,7 +300,7 @@ func run(out io.Writer, o loadOpts) error {
 	} else {
 		results = runClosed(client, tgts, bodies, o.seed, o.duration, o.conc)
 	}
-	return report(out, results, o.duration, o.rps, o.jsonOut)
+	return report(out, results, o)
 }
 
 // runClosed is the default mode: conc workers, one request in flight each.
@@ -309,9 +330,9 @@ func runClosed(client *http.Client, tgts []string, bodies [][]byte, baseSeed int
 					res.codes[-1]++
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				rbody, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				res.observe(resp, elapsed)
+				res.observe(resp, rbody, elapsed)
 				if resp.StatusCode == http.StatusTooManyRequests {
 					// Closed-loop backoff: honor Retry-After if parseable.
 					if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
@@ -362,9 +383,9 @@ func runOpen(client *http.Client, tgts []string, bodies [][]byte, baseSeed int64
 				res.firstErr = err
 				res.codes[-1]++
 			} else {
-				io.Copy(io.Discard, resp.Body)
+				rbody, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
-				res.observe(resp, elapsed)
+				res.observe(resp, rbody, elapsed)
 			}
 			results[i] = res
 		}(i, scheduled)
@@ -391,16 +412,22 @@ type summary struct {
 	// Instances counts 200s by the X-Emts-Instance header (empty when the
 	// backends don't stamp one).
 	Instances map[string]int `json:"instances,omitempty"`
-	P50Ms     float64        `json:"p50_ms"`
-	P95Ms     float64        `json:"p95_ms"`
-	P99Ms     float64        `json:"p99_ms"`
-	MaxMs     float64        `json:"max_ms"`
+	// Islands echoes the -islands request parameter; Generations totals the
+	// EA generations the successful responses reported. Together they let a
+	// bench harness normalize req/s across island counts.
+	Islands     int     `json:"islands,omitempty"`
+	Generations int     `json:"generations"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
 }
 
-func report(out io.Writer, results []result, duration time.Duration, rps float64, jsonOut string) error {
+func report(out io.Writer, results []result, o loadOpts) error {
+	duration, rps, jsonOut := o.duration, o.rps, o.jsonOut
 	var all []time.Duration
 	codes := make(map[int]int)
-	hits, internGraph, internTable := 0, 0, 0
+	hits, internGraph, internTable, generations := 0, 0, 0, 0
 	instances := make(map[string]int)
 	var firstErr error
 	for _, r := range results {
@@ -411,6 +438,7 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 		hits += r.cacheHits
 		internGraph += r.internGraph
 		internTable += r.internTable
+		generations += r.generations
 		for id, n := range r.instances {
 			instances[id] += n
 		}
@@ -449,6 +477,9 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 	pct := func(n int) float64 { return 100 * float64(n) / float64(len(all)) }
 	fmt.Fprintf(out, "cache hits: %d/%d (%.1f%%)\n", hits, len(all), pct(hits))
 	fmt.Fprintf(out, "interned:   graph %.1f%%  table %.1f%%\n", pct(internGraph), pct(internTable))
+	if generations > 0 {
+		fmt.Fprintf(out, "ea:         %d generations across %d responses (islands=%d)\n", generations, len(all), max(1, o.islands))
+	}
 	if len(instances) > 0 {
 		ids := make([]string, 0, len(instances))
 		for id := range instances {
@@ -477,6 +508,8 @@ func report(out io.Writer, results []result, duration time.Duration, rps float64
 			CacheHitPct:    pct(hits),
 			InternGraphPct: pct(internGraph),
 			InternTablePct: pct(internTable),
+			Islands:        o.islands,
+			Generations:    generations,
 			P50Ms:          ms(percentile(all, 0.50)),
 			P95Ms:          ms(percentile(all, 0.95)),
 			P99Ms:          ms(percentile(all, 0.99)),
@@ -609,6 +642,7 @@ func runJobsMode(out io.Writer, o loadOpts) error {
 					Model:     o.model,
 					Algorithm: o.algo,
 					Seed:      o.seed + n,
+					Islands:   o.islands,
 				}
 				body, err := json.Marshal(req)
 				if err != nil {
@@ -621,7 +655,7 @@ func runJobsMode(out io.Writer, o loadOpts) error {
 				if o.cancelAt > 0 && n%2 == 1 {
 					cancelGen = o.cancelAt
 				}
-				runOneJob(&res, client, sseClient, base, body, cancelGen)
+				runOneJob(&res, client, sseClient, base, body, cancelGen, o.islands)
 			}
 			results[w] = res
 		}(w)
@@ -631,8 +665,10 @@ func runJobsMode(out io.Writer, o loadOpts) error {
 }
 
 // runOneJob submits one job and follows it to a terminal state, folding
-// every observation into res.
-func runOneJob(res *jobsResult, client, sseClient *http.Client, base string, body []byte, cancelGen int) {
+// every observation into res. islands is the request's island setting: a
+// multi-island run streams one generation event per island per generation,
+// so the SSE-vs-result consistency check scales its expectation by it.
+func runOneJob(res *jobsResult, client, sseClient *http.Client, base string, body []byte, cancelGen, islands int) {
 	start := time.Now()
 	resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -676,12 +712,13 @@ func runOneJob(res *jobsResult, client, sseClient *http.Client, base string, bod
 	res.genEvents += gens
 
 	final, finalOK := fetchResult(res, client, base, env.ID)
+	eventsPerGen := max(1, islands)
 	switch done.State {
 	case "done":
 		res.completed++
 		if finalOK {
 			res.generations += final.Generations
-			if gens == final.Generations {
+			if gens == final.Generations*eventsPerGen {
 				res.sseMatch++
 			} else {
 				res.sseMismatch++
@@ -695,8 +732,9 @@ func runOneJob(res *jobsResult, client, sseClient *http.Client, base string, bod
 			if final.Makespan == lastBest {
 				res.anytimeOK++
 			}
-			// The anytime run also streamed one event per completed generation.
-			if gens == final.Generations {
+			// The anytime run also streamed one event per completed generation
+			// (per island).
+			if gens == final.Generations*eventsPerGen {
 				res.sseMatch++
 			} else {
 				res.sseMismatch++
@@ -834,6 +872,7 @@ type jobsSummary struct {
 	AnytimeOK   int            `json:"anytime_ok"`
 	SSEEvents   int            `json:"sse_generation_events"`
 	Generations int            `json:"generations"`
+	Islands     int            `json:"islands,omitempty"`
 	SSEMatch    int            `json:"sse_match"`
 	SSEMismatch int            `json:"sse_mismatch"`
 	Codes       map[string]int `json:"codes"`
@@ -909,6 +948,7 @@ func reportJobs(out io.Writer, results []jobsResult, o loadOpts) error {
 			AnytimeOK:   agg.anytimeOK,
 			SSEEvents:   agg.genEvents,
 			Generations: agg.generations,
+			Islands:     o.islands,
 			SSEMatch:    agg.sseMatch,
 			SSEMismatch: agg.sseMismatch,
 			Codes:       make(map[string]int, len(agg.codes)),

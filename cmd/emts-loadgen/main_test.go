@@ -29,14 +29,14 @@ func TestGenerateSpecs(t *testing.T) {
 }
 
 func TestBuildBodies(t *testing.T) {
-	bodies, err := buildBodies("fft4,strassen", "emts5", "synthetic", "chti", 3, 1)
+	bodies, err := buildBodies("fft4,strassen", "emts5", "synthetic", "chti", 3, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(bodies) != 6 { // 2 workloads x 3 seeds
 		t.Fatalf("len(bodies) = %d, want 6", len(bodies))
 	}
-	if _, err := buildBodies(" , ", "emts5", "synthetic", "chti", 1, 1); err == nil {
+	if _, err := buildBodies(" , ", "emts5", "synthetic", "chti", 1, 1, 0); err == nil {
 		t.Fatal("empty workload list accepted")
 	}
 }

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	emts-serve [-addr :8080] [-workers N] [-queue 64] [-timeout 30s]
-//	           [-cache 256] [-max-tasks 20000] [-quiet] [-instance id]
+//	           [-cache 256] [-max-tasks 20000] [-max-islands 16]
+//	           [-quiet] [-instance id]
 //	           [-graph-entries 64] [-table-entries 128] [-cache-shards 0]
 //	           [-max-jobs 256] [-job-ttl 10m] [-sse-keepalive 15s]
 //	           [-no-intern] [-no-pool] [-no-governor]
@@ -64,6 +65,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request compute deadline (negative disables)")
 		cache     = flag.Int("cache", 256, "response cache entries (negative disables)")
 		maxTasks  = flag.Int("max-tasks", 20000, "largest accepted graph (negative disables)")
+		maxIsl    = flag.Int("max-islands", 0, "largest accepted islands request (0 = default 16, negative disables)")
 		drainWait = flag.Duration("drain", time.Minute, "shutdown drain budget")
 		quiet     = flag.Bool("quiet", false, "suppress request logs")
 		instance  = flag.String("instance", "", "instance id stamped on responses as X-Emts-Instance (empty omits the header)")
@@ -93,6 +95,7 @@ func main() {
 		RequestTimeout:   *timeout,
 		CacheEntries:     *cache,
 		MaxTasks:         *maxTasks,
+		MaxIslands:       *maxIsl,
 		LogWriter:        logW,
 		InstanceID:       *instance,
 		GraphEntries:     *graphEntries,

@@ -99,6 +99,15 @@ const (
 	CommaStrategy = ea.Comma
 )
 
+// Migration topologies for Params.Topology (effective when Params.Islands
+// exceeds 1; see the island model in DESIGN.md §17).
+const (
+	// TopologyRing passes migrants around a directed cycle (the default).
+	TopologyRing = ea.TopologyRing
+	// TopologyFull sends every island's migrants to every other island.
+	TopologyFull = ea.TopologyFull
+)
+
 // NewProfile computes the utilization profile of a schedule.
 func NewProfile(s *Schedule) *Profile { return schedule.NewProfile(s) }
 

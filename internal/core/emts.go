@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"emts/internal/alloc"
 	"emts/internal/dag"
@@ -88,7 +89,27 @@ type Params struct {
 	// chunks over a listsched.BatchMapper (DESIGN.md §13). Results are
 	// bit-identical either way; A/B switch like DisableCache.
 	DisableBatch bool
-	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS).
+	// DisableWorkStealing forces the fixed contiguous-chunk batch dispatch
+	// instead of the work-stealing deques (DESIGN.md §17). Results are
+	// bit-identical either way; A/B switch like DisableBatch.
+	DisableWorkStealing bool
+	// Islands, when > 1, runs the EA as that many independent populations
+	// with periodic migration (the island model, DESIGN.md §17). Each island
+	// derives a private RNG stream from Seed, so results are deterministic
+	// for any worker count; 0 and 1 mean the classic single population,
+	// bit-identical to pre-island runs. See ea.Config.Islands.
+	Islands int
+	// MigrationInterval is the number of generations between migrations when
+	// Islands > 1 (0 = every generation); see ea.Config.MigrationInterval.
+	MigrationInterval int
+	// MigrationCount is the number of top individuals each island emits per
+	// migration (0 = 1); see ea.Config.MigrationCount.
+	MigrationCount int
+	// Topology selects the migration topology: ea.TopologyRing (default,
+	// also "") or ea.TopologyFull.
+	Topology string
+	// Workers bounds fitness-evaluation parallelism (0 = GOMAXPROCS). With
+	// Islands > 1 the budget is divided evenly across the islands.
 	Workers int
 	// CacheShards stripes the fitness memo cache (see ea.Config.CacheShards).
 	// Results are bit-identical for any value; 0 picks a default.
@@ -173,6 +194,9 @@ type Result struct {
 	// ea.Result.Generations). It is smaller than Params.Generations when the
 	// run was cancelled mid-flight and the Result is the anytime incumbent.
 	Generations int
+	// Islands is the effective island count the run used: 1 for the classic
+	// single population (Params.Islands <= 1), Params.Islands otherwise.
+	Islands int
 }
 
 // BestSeedMakespan returns the smallest makespan among successful starting
@@ -225,12 +249,17 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 
 	// newMapper checks arenas out of the configured pool (warm checkouts
 	// rebind existing arenas with zero allocations) or constructs them fresh;
-	// every checked-out Mapper is returned when the run ends. All call sites
-	// run on this goroutine or inside the engine's serial evaluator
-	// construction (evalEngine.evaluator documents it must precede the worker
-	// goroutines), so checkedOut needs no lock.
-	var checkedOut []*listsched.Mapper
-	var checkedOutBatch []*listsched.BatchMapper
+	// every checked-out Mapper is returned when the run ends. Within one
+	// evaluation engine the factories run serially before its worker
+	// goroutines (evalEngine.evaluator documents the contract), but an
+	// Islands > 1 run constructs N engines' evaluators concurrently — one
+	// per island goroutine — so the checkout lists take a mutex. Cold path:
+	// O(workers + islands) acquisitions per run, never per evaluation.
+	var (
+		mapperMu        sync.Mutex
+		checkedOut      []*listsched.Mapper
+		checkedOutBatch []*listsched.BatchMapper
+	)
 	newMapper := func() (*listsched.Mapper, error) {
 		if p.MapperPool == nil {
 			return listsched.NewMapper(g, tab)
@@ -239,7 +268,9 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		if err != nil {
 			return nil, err
 		}
+		mapperMu.Lock()
 		checkedOut = append(checkedOut, m)
+		mapperMu.Unlock()
 		return m, nil
 	}
 	newBatchMapper := func() (*listsched.BatchMapper, error) {
@@ -250,7 +281,9 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		if err != nil {
 			return nil, err
 		}
+		mapperMu.Lock()
 		checkedOutBatch = append(checkedOutBatch, bm)
+		mapperMu.Unlock()
 		return bm, nil
 	}
 	defer func() {
@@ -406,6 +439,11 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 		DisableBatch:          p.DisableBatch,
 		DisableDelta:          p.DisableDelta,
 		DisableCache:          p.DisableCache,
+		DisableWorkStealing:   p.DisableWorkStealing,
+		Islands:               p.Islands,
+		MigrationInterval:     p.MigrationInterval,
+		MigrationCount:        p.MigrationCount,
+		Topology:              p.Topology,
 		CacheShards:           p.CacheShards,
 		Strategy:              p.Strategy,
 		SelfAdaptive:          p.SelfAdaptive,
@@ -437,5 +475,9 @@ func RunContext(ctx context.Context, g *dag.Graph, tab *model.Table, p Params) (
 	res.CacheHits = run.CacheHits
 	res.PrefilterRejections = run.PrefilterRejections
 	res.Generations = run.Generations
+	res.Islands = 1
+	if p.Islands > 1 {
+		res.Islands = p.Islands
+	}
 	return res, runErr
 }

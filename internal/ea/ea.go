@@ -277,11 +277,18 @@ func (s Strategy) String() string {
 type GenStats struct {
 	// Generation is the 0-based index u.
 	Generation int
+	// Island is the 0-based index of the island that produced this
+	// generation; always 0 for single-island runs. Multi-island runs deliver
+	// one GenStats per island per generation, in (generation, island) order.
+	Island int
 	// Best, Mean, Worst summarize the finite fitness values of the pool the
 	// new parents were selected from.
 	Best, Mean, Worst float64
 	// BestEver is the best fitness seen so far, including earlier
-	// generations.
+	// generations. For multi-island runs it is the aggregate minimum across
+	// every island and every delivered generation, so the sequence of
+	// BestEver values an observer sees is non-increasing and its last value
+	// equals Result.Best.Fitness exactly.
 	BestEver float64
 	// Rejected counts this generation's rejected offspring.
 	Rejected int
@@ -346,6 +353,14 @@ type Config struct {
 	// scalar dispatch. Results are bit-identical either way — the switch
 	// exists for A/B measurement and regression tests, like DisableCache.
 	DisableBatch bool
+	// DisableWorkStealing forces the fixed contiguous-chunk batch dispatch
+	// (each worker evaluates exactly rows [w·n/W, (w+1)·n/W)) instead of the
+	// work-stealing range deques that let idle workers take rows from loaded
+	// ones. Results are bit-identical either way — every row's outcome lands
+	// at its fixed index regardless of which worker claimed it — so the
+	// switch exists for A/B measurement and regression tests, like
+	// DisableBatch.
+	DisableWorkStealing bool
 	// DisableDelta ignores DeltaEvaluatorFactory's delta evaluator and
 	// lineage information, forcing full evaluations. Results are
 	// bit-identical either way (the delta sweep is exact) — the switch
@@ -365,6 +380,25 @@ type Config struct {
 	CacheShards int
 	// Seed drives all stochastic choices; equal seeds give equal runs.
 	Seed int64
+	// Islands, when > 1, runs that many independent populations (the
+	// coarse-grained island model, DESIGN.md §17), each with a private RNG
+	// stream derived from Seed by splitmix64 (island 0 keeps the raw seed),
+	// a private evaluation engine, and Mu parents of its own; the islands
+	// exchange their best individuals every MigrationInterval generations.
+	// 0 and 1 both mean the classic single panmictic population, which is
+	// bit-identical to runs predating the island layer. Results for any
+	// fixed Islands value are independent of Workers and GOMAXPROCS.
+	Islands int
+	// MigrationInterval is the number of generations between migrations for
+	// Islands > 1; 0 defaults to 1 (migrate at every generation boundary).
+	// The final generation is never followed by a migration.
+	MigrationInterval int
+	// MigrationCount is the number of top individuals each island emits per
+	// migration (its rank-ordered parent prefix); 0 defaults to 1.
+	MigrationCount int
+	// Topology selects who receives whose migrants: TopologyRing (the
+	// default, also "") or TopologyFull.
+	Topology string
 	// Strategy selects plus- (default) or comma-selection.
 	Strategy Strategy
 	// SelfAdaptive enables per-individual mutation step sizes in the style
@@ -400,6 +434,20 @@ func (c Config) Validate() error {
 	}
 	if c.Strategy == Comma && c.Lambda < c.Mu {
 		return fmt.Errorf("ea: comma strategy needs lambda (%d) >= mu (%d)", c.Lambda, c.Mu)
+	}
+	if c.Islands < 0 {
+		return fmt.Errorf("ea: islands = %d, want >= 0", c.Islands)
+	}
+	if c.MigrationInterval < 0 {
+		return fmt.Errorf("ea: migration interval = %d, want >= 0", c.MigrationInterval)
+	}
+	if c.MigrationCount < 0 {
+		return fmt.Errorf("ea: migration count = %d, want >= 0", c.MigrationCount)
+	}
+	switch c.Topology {
+	case "", TopologyRing, TopologyFull:
+	default:
+		return fmt.Errorf("ea: unknown topology %q (want %q or %q)", c.Topology, TopologyRing, TopologyFull)
 	}
 	return nil
 }
@@ -450,15 +498,17 @@ func Run(cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluato
 
 // RunContext is Run with cooperative cancellation. ctx is observed at two
 // points only — before the initial evaluation and once at the top of each
-// generation — so cancellation adds zero cost to the hot fitness path and
-// cannot perturb the RNG stream: a run that completes under a live context is
-// bit-identical to the same seed under context.Background(). On cancellation
-// the error wraps ctx's cause (context.Canceled or DeadlineExceeded), so
-// errors.Is works. A cancellation after initialization returns the partial
-// Result alongside the error: Best is the incumbent at cancellation (a valid
-// answer by plus-selection — the population never worsens) and
-// Result.Generations counts the generations actually completed. Only a
-// cancellation before the initial evaluation returns a nil Result.
+// generation (for Islands > 1: once at each migration barrier) — so
+// cancellation adds zero cost to the hot fitness path and cannot perturb the
+// RNG streams: a run that completes under a live context is bit-identical to
+// the same seed under context.Background(). On cancellation the error wraps
+// ctx's cause (context.Canceled or DeadlineExceeded), so errors.Is works. A
+// cancellation after initialization returns the partial Result alongside the
+// error: Best is the incumbent at cancellation (a valid answer by
+// plus-selection — the population never worsens) and Result.Generations
+// counts the generations actually completed (for Islands > 1, by every
+// island — islands only stop at barriers). Only a cancellation before the
+// initial evaluation returns a nil Result.
 func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.Allocation, fitness Evaluator) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -472,155 +522,27 @@ func RunContext(ctx context.Context, cfg Config, v, procs int, seeds []schedule.
 	if procs < 1 {
 		return nil, fmt.Errorf("ea: procs = %d, want >= 1", procs)
 	}
-	mut := cfg.Mutator
-	if mut == nil {
-		mut = DefaultPaperMutator()
+	if cfg.Islands > 1 {
+		return runIslands(ctx, cfg, v, procs, seeds, fitness)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := &Result{}
-	eng := newEvalEngine(cfg, fitness)
-
-	// Initial pool: seeds (clamped defensively) plus random fill.
-	pool := make([]Individual, 0, max(len(seeds), cfg.Mu))
-	for _, s := range seeds {
-		if len(s) != v {
-			return nil, fmt.Errorf("ea: seed individual has %d alleles, want %d", len(s), v)
-		}
-		pool = append(pool, Individual{Alloc: s.Clone().Clamp(procs)})
-	}
-	for len(pool) < cfg.Mu {
-		a := make(schedule.Allocation, v)
-		for i := range a {
-			a[i] = 1 + rng.Intn(procs)
-		}
-		pool = append(pool, Individual{Alloc: a})
-	}
-	if err := eng.evaluateAll(pool, 0, res); err != nil {
+	// Single panmictic population: one island executing the classic
+	// generation loop, observer delivered inline from this goroutine.
+	isl := newIsland(0, cfg, v, procs, seeds, fitness)
+	if err := isl.init(); err != nil {
 		return nil, err
 	}
-	// The initial pool's vectors are all freshly allocated and private to
-	// this run, so every entry qualifies for clone-free passthrough.
-	parents := selectBest(pool, cfg.Mu, len(pool))
-	res.Best = parents[0].Clone()
-	res.History = append(res.History, res.Best.Fitness)
-
-	// Self-adaptation bookkeeping.
-	initialSigma := cfg.InitialSigma
-	if initialSigma <= 0 {
-		initialSigma = 5 // the paper's σ
-	}
-	if cfg.SelfAdaptive {
-		for i := range parents {
-			if parents[i].Sigma <= 0 {
-				parents[i].Sigma = initialSigma
-			}
-		}
-	}
-	tau := 1 / math.Sqrt(2*float64(v))
-
-	// Offspring arena: one backing array serves all λ child vectors and is
-	// reused every generation, and one permutation buffer serves every
-	// mutation call — offspring generation allocates nothing after this
-	// point. The aliasing rule making this safe: anything that must outlive
-	// the generation is copied out — selectBest clones arena-backed
-	// survivors and the memo cache stores private copies (evalEngine.insert)
-	// — so overwriting the arena next generation cannot corrupt survivors or
-	// cached entries.
-	offspring := make([]Individual, cfg.Lambda)
-	arena := make(schedule.Allocation, cfg.Lambda*v)
-	perm := make([]int, v)
-	// lineageBuf holds each offspring's mutated-position list. MutationCount
-	// is non-increasing in u, so the generation-0 count bounds every later
-	// one and λ fixed-size segments suffice.
-	m0 := MutationCount(0, cfg.Generations, cfg.Fm, v)
-	lineageBuf := make([]int, cfg.Lambda*m0)
-	pmut, hasPositions := mut.(PositionsMutator)
-
 	for u := 0; u < cfg.Generations; u++ {
 		if err := ctx.Err(); err != nil {
 			// Anytime contract: the incumbent in res.Best is already a
 			// private clone and History covers every completed generation, so
 			// the partial Result is safe to hand out alongside the error.
-			return res, fmt.Errorf("ea: run cancelled before generation %d: %w", u, err)
+			return isl.res, fmt.Errorf("ea: run cancelled before generation %d: %w", u, err)
 		}
-		m := MutationCount(u, cfg.Generations, cfg.Fm, v)
-		for i := range offspring {
-			parent := parents[rng.Intn(len(parents))]
-			child := arena[i*v : (i+1)*v : (i+1)*v]
-			copy(child, parent.Alloc)
-			crossed := false
-			if cfg.CrossoverProb > 0 && len(parents) > 1 && rng.Float64() < cfg.CrossoverProb {
-				other := parents[rng.Intn(len(parents))].Alloc
-				uniformCrossover(rng, child, other)
-				crossed = true
-			}
-			sigma := 0.0
-			var positions []int
-			if cfg.SelfAdaptive {
-				sigma = parent.Sigma
-				if sigma <= 0 {
-					sigma = initialSigma
-				}
-				sigma *= math.Exp(tau * rng.NormFloat64())
-				if sigma < 0.3 {
-					sigma = 0.3 // keep |C| >= 1 meaningful
-				}
-				if max := float64(procs); sigma > max {
-					sigma = max
-				}
-				positions = PaperMutator{A: 0.2, Sigma1: sigma, Sigma2: sigma}.MutateInto(rng, child, m, procs, perm)
-			} else if hasPositions {
-				positions = pmut.MutateInto(rng, child, m, procs, perm)
-			} else {
-				mut.Mutate(rng, child, m, procs)
-			}
-			offspring[i] = Individual{Alloc: child, Sigma: sigma}
-			// Record lineage for delta-aware evaluation: only for pure
-			// mutations (crossover mixes two parents, so the touched-position
-			// set is unknown) and only when the positions fit the per-child
-			// segment. The parent vector is safe to reference: selected
-			// parents are never mutated in place for the rest of the run.
-			if positions != nil && !crossed && len(positions) <= m0 {
-				lin := lineageBuf[i*m0 : i*m0+len(positions)]
-				copy(lin, positions)
-				offspring[i].parent = parent.Alloc
-				offspring[i].mutated = lin
-			}
-		}
-		bound := 0.0
-		if cfg.UseRejection {
-			bound = res.Best.Fitness
-		}
-		rejectedBefore := res.Rejections
-		if err := eng.evaluateAll(offspring, bound, res); err != nil {
+		if err := isl.step(u); err != nil {
 			return nil, err
 		}
-		// Selection: plus-strategy pools parents with offspring; the
-		// comma-strategy selects from the offspring alone. The leading
-		// parents region is stable (clone-free passthrough); the offspring
-		// region is arena-backed and must be cloned when selected.
-		pool = pool[:0]
-		stable := 0
-		if cfg.Strategy == Plus {
-			pool = append(pool, parents...)
-			stable = len(parents)
-		}
-		pool = append(pool, offspring...)
-		parents = selectBest(pool, cfg.Mu, stable)
-		if parents[0].Fitness < res.Best.Fitness {
-			res.Best = parents[0].Clone()
-		}
-		res.History = append(res.History, res.Best.Fitness)
-		res.Generations = u + 1
-		if cfg.OnGeneration != nil {
-			gs := poolStats(u, pool, res.Best.Fitness, res.Rejections-rejectedBefore)
-			gs.Evaluations = res.Evaluations
-			gs.CacheHits = res.CacheHits
-			gs.PrefilterRejections = res.PrefilterRejections
-			cfg.OnGeneration(gs)
-		}
 	}
-	return res, nil
+	return isl.res, nil
 }
 
 // poolStats summarizes the finite fitness values of a selection pool.

@@ -51,6 +51,11 @@ type evalEngine struct {
 	batchFactory func() BatchEvaluator
 	perWBatch    []BatchEvaluator
 	batchDelta   bool
+	// stealing selects the work-stealing batch dispatch (steal.go) over the
+	// fixed contiguous chunks; ranges is its per-worker deque scratch,
+	// reused across generations.
+	stealing bool
+	ranges   []stealRange
 
 	// Per-batch scratch, sized on first use and reused across generations so
 	// evaluateAll allocates nothing after warm-up (pooled evaluation state).
@@ -122,6 +127,7 @@ func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 	if cfg.BatchEvaluatorFactory != nil && !cfg.DisableBatch {
 		eng.batchFactory = cfg.BatchEvaluatorFactory
 		eng.batchDelta = !cfg.DisableDelta
+		eng.stealing = !cfg.DisableWorkStealing
 	}
 	if eng.workers <= 0 {
 		eng.workers = runtime.GOMAXPROCS(0)
@@ -144,6 +150,15 @@ func newEvalEngine(cfg Config, fitness Evaluator) *evalEngine {
 		for i := range eng.shards {
 			eng.shards[i].m = make(map[uint64][]memoEntry)
 		}
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// On a single-core host worker fan-out cannot overlap anything: the
+		// goroutines and channel round-trips are pure overhead (the
+		// BENCH_PR6 single-core caveat). Results are worker-count
+		// independent, so clamping to the inline dispatch path changes
+		// timing only. Applied after shard sizing so the cache keeps the
+		// stripe count the configured worker count implies.
+		eng.workers = 1
 	}
 	return eng
 }
@@ -343,11 +358,13 @@ func (eng *evalEngine) runBatchChunk(ev BatchEvaluator, idxs []int, items []Batc
 
 // evalBatch dispatches the unresolved representatives in toEval through the
 // batch path: the batch scratch is filled with one BatchItem per individual
-// (lineage included unless delta is disabled), split into one contiguous
-// chunk per worker, and each chunk is evaluated by a worker-owned
-// BatchEvaluator. Chunk boundaries are a pure function of len(toEval) and
-// the worker count, so the assignment of individuals to evaluators — and
-// with it every result and counter — is deterministic.
+// (lineage included unless delta is disabled) and the rows are evaluated by
+// worker-owned BatchEvaluators — via the work-stealing range deques of
+// steal.go by default, or in fixed contiguous chunks of w*n/workers rows
+// under DisableWorkStealing. Either way every row's outcome lands at its
+// fixed index in the scratch planes, so the results and counters are
+// deterministic; only the fixed-chunk path additionally pins *which* worker
+// evaluates which row.
 //
 //schedlint:hotpath
 func (eng *evalEngine) evalBatch(toEval []int, inds []Individual, rejectAbove float64,
@@ -371,6 +388,10 @@ func (eng *evalEngine) evalBatch(toEval []int, inds []Individual, rejectAbove fl
 	if workers == 1 {
 		eng.runBatchChunk(eng.batchEvaluator(0), toEval, eng.items, eng.fit, eng.batchErrs,
 			inds, rejectAbove, rejected, prefiltered, firstErr)
+		return
+	}
+	if eng.stealing {
+		eng.evalBatchStealing(workers, toEval, inds, rejectAbove, rejected, prefiltered, firstErr)
 		return
 	}
 	// Construct all evaluators serially before the goroutines start

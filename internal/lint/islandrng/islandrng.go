@@ -1,0 +1,122 @@
+// Package islandrng pins the EA package's RNG construction to the island
+// seed-derivation helper.
+//
+// The island-model determinism argument (DESIGN.md §17) rests on every
+// island's random stream being a pure function of (request seed, island
+// index): island 0 keeps the raw seed so a single-island run is bit-identical
+// to the historical engine, and island i > 0 derives its seed through
+// splitmix64. That argument only holds if the helper is the sole place a
+// *rand.Rand is born — a stray rand.New(rand.NewSource(...)) elsewhere in
+// internal/ea would mint a stream outside the derivation scheme and silently
+// fork the lattice. norandglobal already bans the global source; this check
+// closes the remaining gap by rejecting any math/rand constructor call in the
+// guarded package outside the sanctioned helpers. Test files are exempt:
+// tests deliberately build throwaway generators to probe the engine.
+package islandrng
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"emts/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "islandrng",
+	Doc:  "islandrng: EA random streams must be constructed via the island seed-derivation helper",
+	Run:  run,
+}
+
+// Defaults for the .schedlint.conf settings.
+const (
+	// defaultPackagePattern selects the guarded packages by import path.
+	defaultPackagePattern = `(^|/)internal/ea$`
+	// defaultHelpers names the sanctioned constructor functions.
+	defaultHelpers = "newIslandRNG"
+)
+
+// constructors are the math/rand entry points that mint a new generator or
+// source. Methods on an existing generator are fine — they only consume an
+// already-derived stream.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pat := pass.Setting("islandrng.package-pattern", defaultPackagePattern)
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return nil, fmt.Errorf("islandrng: bad islandrng.package-pattern %q: %v", pat, err)
+	}
+	if pass.Pkg == nil || !re.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	helpers := make(map[string]bool)
+	for _, h := range strings.Split(pass.Setting("islandrng.helpers", defaultHelpers), ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			helpers[h] = true
+		}
+	}
+	for _, f := range pass.Files {
+		if tf := pass.Fset.File(f.Pos()); tf != nil && strings.HasSuffix(tf.Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			enclosing := ""
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				enclosing = fd.Name.Name
+			}
+			if helpers[enclosing] {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.CalleeFunc(call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				pkg := fn.Pkg().Path()
+				if pkg != "math/rand" && pkg != "math/rand/v2" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true // drawing from an injected generator is the point
+				}
+				if !constructors[fn.Name()] {
+					return true // global-state calls are norandglobal's finding
+				}
+				where := "package scope"
+				if enclosing != "" {
+					where = enclosing
+				}
+				pass.Reportf(call.Pos(),
+					"rand.%s in %s: island RNG streams must come from the seed-derivation helper (%s)",
+					fn.Name(), where, strings.Join(sortedKeys(helpers), ", "))
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// sortedKeys renders the helper set deterministically for the message.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

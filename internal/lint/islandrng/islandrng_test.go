@@ -1,0 +1,28 @@
+package islandrng_test
+
+import (
+	"testing"
+
+	"emts/internal/lint/analysistest"
+	"emts/internal/lint/islandrng"
+)
+
+func TestIslandRNG(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), islandrng.Analyzer,
+		analysistest.Options{Settings: map[string]string{"islandrng.package-pattern": "^a$"}}, "a")
+}
+
+// TestIslandRNGPackageScope checks the analyzer ignores packages outside the
+// configured pattern entirely.
+func TestIslandRNGPackageScope(t *testing.T) {
+	analysistest.RunWith(t, analysistest.TestData(), islandrng.Analyzer,
+		analysistest.Options{Settings: map[string]string{"islandrng.package-pattern": "^a$"}}, "b")
+}
+
+// TestIslandRNGDefaultPattern pins the default package pattern to the EA
+// package so a rename does not silently unguard it.
+func TestIslandRNGDefaultPattern(t *testing.T) {
+	// The fixture package path "a" must NOT match the default pattern; the
+	// real target does.
+	analysistest.Run(t, analysistest.TestData(), islandrng.Analyzer, "a2")
+}

@@ -1,0 +1,28 @@
+// Fixture for the islandrng analyzer (package pattern overridden to ^a$ by
+// the test; helpers stay the default newIslandRNG).
+package a
+
+import "math/rand"
+
+// newIslandRNG is the sanctioned helper: constructors inside it are fine.
+func newIslandRNG(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(idx)))
+}
+
+// stray mints a generator outside the helper.
+func stray(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `rand.New in stray` `rand.NewSource in stray`
+}
+
+// packageLevel initializers are caught too.
+var packageLevel = rand.NewSource(7) // want `rand.NewSource in package scope`
+
+// consume draws from an injected generator — methods are always fine.
+func consume(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// globals are norandglobal's finding, not this analyzer's.
+func globals() int {
+	return rand.Int()
+}

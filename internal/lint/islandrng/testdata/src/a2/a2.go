@@ -1,0 +1,9 @@
+// Fixture run with the DEFAULT package pattern: the import path "a2" is not
+// internal/ea, so even a stray constructor draws no diagnostic.
+package a2
+
+import "math/rand"
+
+func stray(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

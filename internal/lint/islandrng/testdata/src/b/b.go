@@ -1,0 +1,9 @@
+// Fixture outside the guarded package pattern: the analyzer stays silent
+// even for stray constructors.
+package b
+
+import "math/rand"
+
+func anywhere(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

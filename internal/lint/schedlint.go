@@ -10,6 +10,7 @@ import (
 	"emts/internal/lint/floateq"
 	"emts/internal/lint/hotalloc"
 	"emts/internal/lint/hotescape"
+	"emts/internal/lint/islandrng"
 	"emts/internal/lint/lockscope"
 	"emts/internal/lint/mapiterorder"
 	"emts/internal/lint/norandglobal"
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		floateq.Analyzer,
 		hotalloc.Analyzer,
 		hotescape.Analyzer,
+		islandrng.Analyzer,
 		lockscope.Analyzer,
 		mapiterorder.Analyzer,
 		norandglobal.Analyzer,

@@ -198,6 +198,13 @@ func (b *BatchMapper) ensureRows(rows int) {
 // SkipProcSets is implied — no schedules are materialized; opt.RejectAbove
 // and opt.DisablePrefilter behave exactly as on the scalar path.
 //
+// Rows are independent: every row's outcome is a pure function of its own
+// item and opt, so evaluating a batch in sub-spans — EvalBatch over
+// items[lo:hi] with the matching fitness/errs windows, as the EA's
+// work-stealing dispatch does (DESIGN.md §17) — produces row for row the
+// same bits as one call over the full span, and warm sub-span calls stay
+// allocation-free (TestBatchEvalZeroAllocs).
+//
 //schedlint:hotpath
 func (b *BatchMapper) EvalBatch(items []BatchItem, opt Options, fitness []float64, errs []error) {
 	opt.SkipProcSets = true

@@ -224,6 +224,28 @@ func TestBatchEvalZeroAllocs(t *testing.T) {
 			t.Fatalf("warm EvalBatch (opt %+v) allocates %.1f times per call, want 0", opt, avg)
 		}
 	}
+
+	// The EA's dispatch slices one logical batch into sub-spans — per-worker
+	// chunks, or finer work-stealing grains — and at GOMAXPROCS==1 runs them
+	// inline on the caller goroutine with no channel round-trips, so the
+	// sub-span calls ARE the single-core hot path and must stay
+	// allocation-free too (the row-independence contract in EvalBatch's doc).
+	half := len(items) / 2
+	avg := testing.AllocsPerRun(100, func() {
+		bm.EvalBatch(items[:half], Options{}, fit[:half], errs[:half])
+		bm.EvalBatch(items[half:], Options{}, fit[half:], errs[half:])
+	})
+	if avg != 0 {
+		t.Fatalf("warm sub-span EvalBatch pair allocates %.1f times per run, want 0", avg)
+	}
+	for r := range items {
+		if errs[r] != nil {
+			t.Fatalf("sub-span row %d failed: %v", r, errs[r])
+		}
+	}
+	if fit[0] != full {
+		t.Fatalf("sub-span evaluation diverged: row 0 = %g, want %g", fit[0], full)
+	}
 }
 
 // TestBatchInvalidRows pins per-row error isolation: invalid allocations must

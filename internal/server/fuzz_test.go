@@ -27,10 +27,10 @@ func FuzzDecodeScheduleRequest(f *testing.F) {
 	}
 	graphs := intern.NewGraphs(16)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		p, err := parseScheduleRequest(data, 1000, nil)
+		p, err := parseScheduleRequest(data, 1000, 0, nil)
 		// The interned path must accept and reject exactly the same inputs and
 		// produce the same canonical key.
-		pi, erri := parseScheduleRequest(data, 1000, graphs)
+		pi, erri := parseScheduleRequest(data, 1000, 0, graphs)
 		if (err == nil) != (erri == nil) {
 			t.Fatalf("intern changed acceptance: plain err=%v, interned err=%v", err, erri)
 		}

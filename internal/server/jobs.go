@@ -44,9 +44,16 @@ import (
 // exactly once at publish time (jobs.Event.Data) so replays are byte-stable.
 // best_makespan is the incumbent fitness (ea.GenStats.BestEver): on anytime
 // cancellation the returned schedule's makespan equals the last streamed
-// value — the acceptance contract of the job API.
+// value — the acceptance contract of the job API. For island-model runs it
+// is the aggregate incumbent across ALL islands (the island coordinator
+// rewrites BestEver at delivery), so the stream stays monotone even though
+// events interleave islands. Island is a pointer so single-population
+// streams omit the field and stay byte-identical to the pre-island wire
+// format; multi-island runs emit one event per island per generation in
+// (generation, island) order.
 type generationEvent struct {
 	Generation          int     `json:"generation"`
+	Island              *int    `json:"island,omitempty"`
 	BestMakespan        float64 `json:"best_makespan"`
 	PoolBest            float64 `json:"pool_best"`
 	PoolMean            float64 `json:"pool_mean"`
@@ -108,7 +115,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // readRequestBody already answered
 	}
-	parsed, perr := parseScheduleRequest(body, s.maxTasks(), s.graphs)
+	parsed, perr := parseScheduleRequest(body, s.maxTasks(), s.maxIslands(), s.graphs)
 	if perr != nil {
 		writeParseError(w, perr)
 		return
@@ -152,7 +159,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		anytime: true,
 		started: jb.Start,
 		onGen: func(gs ea.GenStats) {
-			data, merr := json.Marshal(generationEvent{
+			ev := generationEvent{
 				Generation:          gs.Generation,
 				BestMakespan:        gs.BestEver,
 				PoolBest:            gs.Best,
@@ -161,7 +168,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				CacheHits:           gs.CacheHits,
 				PrefilterRejections: gs.PrefilterRejections,
 				Rejected:            gs.Rejected,
-			})
+			}
+			if parsed.req.Islands > 1 {
+				island := gs.Island
+				ev.Island = &island
+			}
+			data, merr := json.Marshal(ev)
 			if merr != nil {
 				return // unreachable: plain struct of numbers
 			}

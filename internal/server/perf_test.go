@@ -157,7 +157,7 @@ func TestInternedHeader(t *testing.T) {
 // schedule path the allocation regression measures.
 func computeJob(t testing.TB, s *Server, body []byte) *job {
 	t.Helper()
-	p, err := parseScheduleRequest(body, 0, s.graphs)
+	p, err := parseScheduleRequest(body, 0, 0, s.graphs)
 	if err != nil {
 		t.Fatal(err)
 	}

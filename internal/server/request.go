@@ -32,6 +32,13 @@ type ScheduleRequest struct {
 	// TimeoutMS optionally tightens the server's per-request deadline. It can
 	// only lower the server limit, never raise it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Islands selects the island-model EA for EMTS algorithms: 0 or 1 is the
+	// classic single population, N > 1 runs N coupled subpopulations (see
+	// ea.Config.Islands). Bounded by the server's MaxIslands cap.
+	Islands int `json:"islands,omitempty"`
+	// MigrationInterval is the generation period between island migrations
+	// (0 picks the default; ignored when Islands <= 1).
+	MigrationInterval int `json:"migration_interval,omitempty"`
 }
 
 // ClusterSpec names a platform preset ("chti", "grelon") or describes a
@@ -84,12 +91,13 @@ type parsedRequest struct {
 }
 
 // parseScheduleRequest decodes and validates an untrusted request body.
-// maxTasks bounds the accepted graph size (0 = unlimited). When graphs is
-// non-nil, the graph is resolved through the intern: a repeat submission of
-// the same bytes skips JSON decoding, graph construction, and the canonical
-// re-encoding entirely. All rejections are typed (*RequestError or
-// *dag.DecodeError) and identical with or without an intern.
-func parseScheduleRequest(body []byte, maxTasks int, graphs *intern.Graphs) (*parsedRequest, error) {
+// maxTasks bounds the accepted graph size and maxIslands the requested island
+// count (0 = unlimited for both). When graphs is non-nil, the graph is
+// resolved through the intern: a repeat submission of the same bytes skips
+// JSON decoding, graph construction, and the canonical re-encoding entirely.
+// All rejections are typed (*RequestError or *dag.DecodeError) and identical
+// with or without an intern.
+func parseScheduleRequest(body []byte, maxTasks, maxIslands int, graphs *intern.Graphs) (*parsedRequest, error) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req ScheduleRequest
@@ -141,6 +149,15 @@ func parseScheduleRequest(body []byte, maxTasks int, graphs *intern.Graphs) (*pa
 	if req.TimeoutMS < 0 {
 		return nil, requestErrorf("timeout_ms", "negative value %d", req.TimeoutMS)
 	}
+	if req.Islands < 0 {
+		return nil, requestErrorf("islands", "negative value %d", req.Islands)
+	}
+	if maxIslands > 0 && req.Islands > maxIslands {
+		return nil, requestErrorf("islands", "%d islands exceeds the admission limit of %d", req.Islands, maxIslands)
+	}
+	if req.MigrationInterval < 0 {
+		return nil, requestErrorf("migration_interval", "negative value %d", req.MigrationInterval)
+	}
 	p := &parsedRequest{
 		req:           req,
 		graph:         g,
@@ -156,7 +173,7 @@ func parseScheduleRequest(body []byte, maxTasks int, graphs *intern.Graphs) (*pa
 	if p.algorithm == "" {
 		p.algorithm = "emts5"
 	}
-	p.key = canonicalKey(canon, cluster, p.model, p.algorithm, req.Seed)
+	p.key = canonicalKey(canon, cluster, p.model, p.algorithm, req.Seed, req.Islands, req.MigrationInterval)
 	return p, nil
 }
 
@@ -189,12 +206,18 @@ func (cs ClusterSpec) resolve() (platform.Cluster, error) {
 // graph's canonical MarshalJSON encoding (deterministic task and edge order,
 // cached by the intern), so two submissions that differ only in JSON
 // whitespace, field order, or float spelling of the same value stream map to
-// the same key. The digest layout is unchanged from the pre-intern code, so
-// the response cache keys identically whether interning is on or off.
-func canonicalKey(canonGraph []byte, cluster platform.Cluster, model, algorithm string, seed int64) string {
+// the same key. The digest layout is unchanged from the pre-intern code for
+// single-population requests — the island parameters extend the digest ONLY
+// when islands > 1 (islands <= 1 is the classic run regardless of the
+// migration interval), so every pre-existing key stays byte-identical and the
+// response cache keys identically whether interning is on or off.
+func canonicalKey(canonGraph []byte, cluster platform.Cluster, model, algorithm string, seed int64, islands, migrationInterval int) string {
 	h := sha256.New()
 	h.Write(canonGraph)
 	fmt.Fprintf(h, "\x00%s\x00%d\x00%g\x00%s\x00%s\x00%s",
 		cluster.Name, cluster.Procs, cluster.SpeedGFlops, model, algorithm, strconv.FormatInt(seed, 10))
+	if islands > 1 {
+		fmt.Fprintf(h, "\x00islands\x00%d\x00%d", islands, migrationInterval)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -11,7 +11,7 @@ const keyGraph = `{"tasks":[{"flops":1,"alpha":0.5},{"flops":2,"alpha":0.5}],"ed
 
 func mustParse(t *testing.T, body string) *parsedRequest {
 	t.Helper()
-	p, err := parseScheduleRequest([]byte(body), 0, nil)
+	p, err := parseScheduleRequest([]byte(body), 0, 0, nil)
 	if err != nil {
 		t.Fatalf("parseScheduleRequest(%q): %v", body, err)
 	}
@@ -66,7 +66,7 @@ func TestParseDefaults(t *testing.T) {
 }
 
 func TestParseMaxTasks(t *testing.T) {
-	_, err := parseScheduleRequest([]byte(`{"graph":`+keyGraph+`,"cluster":{"preset":"chti"}}`), 1, nil)
+	_, err := parseScheduleRequest([]byte(`{"graph":`+keyGraph+`,"cluster":{"preset":"chti"}}`), 1, 0, nil)
 	var reqErr *RequestError
 	if !errors.As(err, &reqErr) || reqErr.Field != "graph.tasks" {
 		t.Fatalf("want RequestError on graph.tasks, got %v", err)
@@ -74,7 +74,7 @@ func TestParseMaxTasks(t *testing.T) {
 }
 
 func TestParseStrictGraph(t *testing.T) {
-	_, err := parseScheduleRequest([]byte(`{"graph":{"tasks":[{"flops":1}],"edges":[[0,5]]},"cluster":{"preset":"chti"}}`), 0, nil)
+	_, err := parseScheduleRequest([]byte(`{"graph":{"tasks":[{"flops":1}],"edges":[[0,5]]},"cluster":{"preset":"chti"}}`), 0, 0, nil)
 	var decErr *dag.DecodeError
 	if !errors.As(err, &decErr) {
 		t.Fatalf("want dag.DecodeError for out-of-range edge, got %v", err)

@@ -30,6 +30,9 @@ type ScheduleResponse struct {
 	// anytime answer (a cancelled async job) it is smaller than the
 	// preset's generation budget.
 	Generations int `json:"generations,omitempty"`
+	// Islands is the island count for island-model EA runs; omitted for the
+	// classic single population, so pre-island responses keep their bytes.
+	Islands int `json:"islands,omitempty"`
 	// Schedule is the fully validated placement.
 	Schedule *schedule.Schedule `json:"schedule"`
 }
@@ -51,6 +54,9 @@ func marshalResponse(rep *sim.Report) ([]byte, error) {
 		resp.Rejections = rep.EMTS.Rejections
 		resp.History = rep.EMTS.History
 		resp.Generations = rep.EMTS.Generations
+		if rep.EMTS.Islands > 1 {
+			resp.Islands = rep.EMTS.Islands
+		}
 	}
 	b, err := json.Marshal(resp)
 	if err != nil {

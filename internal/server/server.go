@@ -72,6 +72,11 @@ type Config struct {
 	// MaxTasks rejects graphs larger than this at admission (default 20000;
 	// negative disables the limit).
 	MaxTasks int
+	// MaxIslands rejects requests asking for more EA islands than this at
+	// admission (default 16; negative disables the limit). Each island runs
+	// its own subpopulation, so the cap bounds per-request memory the same
+	// way MaxTasks bounds graph size.
+	MaxIslands int
 	// MaxRequestBytes bounds the request body (default 8 MiB).
 	MaxRequestBytes int64
 	// LogWriter receives JSON-line request logs (nil disables logging).
@@ -136,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTasks == 0 {
 		c.MaxTasks = 20000
+	}
+	if c.MaxIslands == 0 {
+		c.MaxIslands = 16
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = 8 << 20
@@ -441,7 +449,13 @@ func (s *Server) compute(j *job) jobResult {
 	// The governor sizes this run's EA parallelism to the tokens currently
 	// free; responses are identical for any grant (worker-count-independent
 	// engine), so only throughput depends on the grant.
-	opt := sim.Options{CacheShards: s.cfg.CacheShards, MapperPool: s.pool, OnGeneration: j.onGen}
+	opt := sim.Options{
+		CacheShards:       s.cfg.CacheShards,
+		MapperPool:        s.pool,
+		OnGeneration:      j.onGen,
+		Islands:           p.req.Islands,
+		MigrationInterval: p.req.MigrationInterval,
+	}
 	if s.gov != nil {
 		tokens, release := s.gov.acquire()
 		defer release()
@@ -500,7 +514,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // readRequestBody already answered
 	}
-	parsed, err := parseScheduleRequest(body, s.maxTasks(), s.graphs)
+	parsed, err := parseScheduleRequest(body, s.maxTasks(), s.maxIslands(), s.graphs)
 	if err != nil {
 		writeParseError(w, err)
 		return
@@ -578,6 +592,14 @@ func (s *Server) maxTasks() int {
 		return 0
 	}
 	return s.cfg.MaxTasks
+}
+
+// maxIslands is the admission island-count limit (0 = unlimited).
+func (s *Server) maxIslands() int {
+	if s.cfg.MaxIslands < 0 {
+		return 0
+	}
+	return s.cfg.MaxIslands
 }
 
 // requestTimeout resolves the compute deadline for a parsed request: the

@@ -119,11 +119,14 @@ func RunTable(g *dag.Graph, cluster platform.Cluster, tab *model.Table, algorith
 	return RunTableContext(context.Background(), g, cluster, tab, algorithm, seed)
 }
 
-// Options tunes how a run executes without changing what it computes: every
-// field affects only resource usage (parallelism, arena reuse, lock
-// striping), and results are bit-identical for any combination — the
-// determinism meta-tests enforce this. The zero value is the historical
-// behavior.
+// Options tunes how a run executes: most fields affect only resource usage
+// (parallelism, arena reuse, lock striping) and leave results bit-identical
+// for any combination — the determinism meta-tests enforce this. The one
+// exception is the island-model group (Islands, MigrationInterval,
+// MigrationCount, Topology): islands change which search the EA performs, so
+// each distinct setting is a distinct deterministic result — still
+// independent of Workers and GOMAXPROCS, and Islands <= 1 is bit-identical
+// to the historical behavior. The zero value is the historical behavior.
 type Options struct {
 	// Workers bounds EMTS fitness-evaluation parallelism (0 = GOMAXPROCS).
 	// The server's CPU governor sets this per request so one lone request
@@ -135,6 +138,14 @@ type Options struct {
 	// MapperPool, when non-nil, lends listsched.Mapper arenas to the run and
 	// takes them back when it finishes (see core.Params.MapperPool).
 	MapperPool *evalpool.Pool
+	// Islands, MigrationInterval, MigrationCount, and Topology configure the
+	// island-model EA for EMTS algorithms (ignored by the one-shot
+	// heuristics); see core.Params and ea.Config. Islands <= 1 is the
+	// classic single population.
+	Islands           int
+	MigrationInterval int
+	MigrationCount    int
+	Topology          string
 	// OnGeneration, when non-nil, observes per-generation EA statistics for
 	// EMTS algorithms (ignored by the one-shot heuristics). It is called
 	// from the run's goroutine after each generation's selection — the same
@@ -173,6 +184,10 @@ func RunTableOpts(ctx context.Context, g *dag.Graph, cluster platform.Cluster, t
 		params.CacheShards = opt.CacheShards
 		params.MapperPool = opt.MapperPool
 		params.OnGeneration = opt.OnGeneration
+		params.Islands = opt.Islands
+		params.MigrationInterval = opt.MigrationInterval
+		params.MigrationCount = opt.MigrationCount
+		params.Topology = opt.Topology
 		res, err := core.RunContext(ctx, g, tab, params)
 		if err != nil {
 			// Anytime contract (see core.RunContext): a mid-run cancellation
